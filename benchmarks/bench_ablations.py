@@ -1,0 +1,78 @@
+"""Ablation benches for the design choices DESIGN.md calls out (not paper
+figures; they isolate the mechanisms behind them)."""
+
+from repro.bench.ablations import (
+    ablate_batched_execution,
+    ablate_distributor_parts,
+    ablate_filter_workers,
+    ablate_hybrid_routing,
+    ablate_oversubscription,
+    ablate_prediction_model,
+    ablate_thread_configuration,
+)
+
+
+def bench_ablate_distributor_parts(once, save_report):
+    result = once(ablate_distributor_parts)
+    save_report("ablate_distributor", result.render())
+    rts = result.data["rt"]
+    # A single-threaded distributor is a bottleneck at high selectivity.
+    assert rts[0] > 1.2 * rts[-1]
+
+
+def bench_ablate_filter_workers(once, save_report):
+    result = once(ablate_filter_workers)
+    save_report("ablate_filters", result.render())
+    rts = result.data["rt"]
+    assert rts[0] > rts[-1]  # more workers never hurt here
+
+
+def bench_ablate_oversubscription(once, save_report):
+    result = once(ablate_oversubscription)
+    save_report("ablate_oversub", result.render())
+    rts = result.data["rt"]
+    # Fair-share only (k=0) cannot produce the paper's collapse.
+    assert rts[0] < rts[1] < rts[2]
+
+
+def bench_ablate_prediction_model(once, save_report):
+    result = once(ablate_prediction_model)
+    save_report("ablate_prediction", result.render())
+    rt = result.data["rt"]
+    for i in range(len(result.data["concurrency"])):
+        envelope = min(rt["QPipe (FIFO)"][i], rt["QPipe-CS (FIFO)"][i])
+        assert rt["CS (FIFO+pred)"][i] <= 1.3 * envelope
+
+
+def bench_ablate_thread_configuration(once, save_report):
+    result = once(ablate_thread_configuration)
+    save_report("ablate_threads", result.render())
+    rt = result.data["rt"]
+    # Paper: neither configuration necessarily wins.  Under low-selectivity
+    # workloads the first filter dominates, so the vertical chain's serial
+    # first stage trails the horizontal pool -- within the same order of
+    # magnitude at every concurrency level.
+    for h, v in zip(rt["horizontal"], rt["vertical"]):
+        assert 0.25 < v / h < 4.0
+
+
+def bench_ablate_batched_execution(once, save_report):
+    result = once(ablate_batched_execution)
+    save_report("ablate_batching", result.render())
+    rt = result.data["rt"]
+    # Simultaneous arrivals: one generation, batching costs ~nothing.
+    assert rt["CJOIN (batched)"][0] <= 1.05 * rt["CJOIN (continuous)"][0]
+    # Staggered arrivals: late queries wait for the running generation --
+    # batching is never cheaper and clearly worse somewhere in the sweep.
+    ratios = [b / c for b, c in zip(rt["CJOIN (batched)"], rt["CJOIN (continuous)"])]
+    assert all(r >= 0.99 for r in ratios)
+    assert max(ratios[1:]) > 1.15
+
+
+def bench_ablate_hybrid_routing(once, save_report):
+    result = once(ablate_hybrid_routing)
+    save_report("ablate_hybrid", result.render())
+    rt = result.data["rt"]
+    for i in range(len(result.data["concurrency"])):
+        best = min(rt["QPipe-SP"][i], rt["CJOIN-SP"][i])
+        assert rt["Hybrid"][i] <= 1.5 * best

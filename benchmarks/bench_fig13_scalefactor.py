@@ -1,0 +1,28 @@
+"""Paper Figure 13: impact of scale factor (8 queries, disk-resident,
+with and without direct I/O).
+
+Shape claims checked:
+* response grows with the scale factor for both configurations;
+* QPipe-SP is below CJOIN at every scale factor (8 queries = low
+  concurrency);
+* direct I/O makes both slower (no read-ahead/FS cache) and exposes the
+  CJOIN preprocessor: CJOIN loses more from direct I/O than QPipe-SP.
+"""
+
+from repro.bench.experiments import fig13_scale_factor
+
+
+def bench_fig13_scale_factor(once, save_report, full_mode):
+    result = once(fig13_scale_factor, full=full_mode)
+    save_report("fig13_scalefactor", result.render())
+
+    rt = result.data["rt"]
+    for name, series in rt.items():
+        assert series[-1] > series[0], name  # grows with SF
+    assert all(q <= c for q, c in zip(rt["QPipe-SP"], rt["CJOIN"]))
+    # Direct I/O penalty, and it hits CJOIN harder (preprocessor exposed).
+    hi = -1
+    penalty_qp = rt["QPipe-SP (Direct I/O)"][hi] / rt["QPipe-SP"][hi]
+    penalty_cj = rt["CJOIN (Direct I/O)"][hi] / rt["CJOIN"][hi]
+    assert penalty_qp > 1.0
+    assert penalty_cj > 1.0

@@ -1,0 +1,33 @@
+"""Paper Figure 14: 16 possible Q3.2 plans (high similarity), SF=1,
+disk-resident.
+
+Shape claims checked at the highest concurrency:
+* QPipe-SP beats plain CJOIN (SP exploits the common sub-plans that the
+  GQP evaluates redundantly);
+* CJOIN-SP is the best of all four configurations;
+* QPipe-CS (scan sharing only) is the worst of the four;
+* CJOIN-SP records many whole-CJOIN-packet shares (paper: ~239 at 256
+  queries for 16 plans).
+"""
+
+from repro.bench.experiments import fig14_similarity
+
+
+def bench_fig14_similarity(once, save_report, full_mode):
+    result = once(fig14_similarity, full=full_mode)
+    save_report("fig14_similarity", result.render())
+
+    rt = result.data["rt"]
+    hi = -1
+    assert rt["QPipe-SP"][hi] < rt["CJOIN"][hi]
+    assert rt["CJOIN-SP"][hi] <= rt["CJOIN"][hi]
+    assert rt["CJOIN-SP"][hi] < rt["QPipe-CS"][hi]
+    assert max(rt[k][hi] for k in rt) == rt["QPipe-CS"][hi]
+
+    cells = result.data["cells"]
+    n_top = result.data["concurrency"][hi]
+    shares = cells["CJOIN-SP"][hi].sharing.get("cjoin", 0)
+    n_plans = min(16, n_top)
+    # Nearly every duplicate packet shares (submission dispatch may close
+    # the WoP for a handful; the paper itself saw 239 of 240 possible).
+    assert shares >= 0.9 * (n_top - n_plans)

@@ -1,0 +1,15 @@
+"""Paper Figure 2b: step vs linear Window of Opportunity gain curves."""
+
+from repro.bench.experiments import fig2_wop
+
+
+def bench_fig2_wop(once, save_report):
+    result = once(fig2_wop)
+    save_report("fig2_wop", result.render())
+    # Step: all-or-nothing at the output cliff.
+    assert result.data["step_gain_%"][0] == 100.0
+    assert result.data["step_gain_%"][-1] == 0.0
+    # Linear: monotonically decreasing, proportional.
+    lin = result.data["linear_gain_%"]
+    assert lin == sorted(lin, reverse=True)
+    assert lin[5] == 50.0

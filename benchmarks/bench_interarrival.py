@@ -1,0 +1,31 @@
+"""Extension experiment: interarrival delay vs sharing opportunities.
+
+The paper submits each batch at once "so all queries with common sub-plans
+arrive surely inside the WoP" and notes that variable interarrival delays
+decrease SP's opportunities (deferring the study to the original QPipe
+paper).  This bench runs that study on our engine.
+
+Shape claims checked:
+* step-WoP join sharing decays as the delay grows and eventually dies;
+* linear-WoP circular-scan sharing survives much longer (any overlapping
+  execution can join the circle);
+* mean response rises as sharing is lost.
+"""
+
+from repro.bench.ablations import interarrival_sweep
+
+
+def bench_interarrival_sweep(once, save_report):
+    result = once(interarrival_sweep)
+    save_report("interarrival", result.render())
+
+    joins = result.data["join_shares"]
+    scans = result.data["scan_shares"]
+    rts = result.data["rt"]
+    # Joins: maximal at zero delay, gone at the largest delay.
+    assert joins[0] == max(joins)
+    assert joins[-1] < joins[0]
+    # Scans: still sharing at delays where join sharing already collapsed.
+    assert scans[-2] > joins[-2]
+    # Lost sharing costs response time.
+    assert rts[-1] >= rts[0] * 0.95

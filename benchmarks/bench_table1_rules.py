@@ -1,0 +1,23 @@
+"""Paper Table 1: rules of thumb, *derived* from an actual sweep.
+
+| when             | execution engine            | I/O layer    |
+|------------------|-----------------------------|--------------|
+| low concurrency  | query-centric operators + SP| shared scans |
+| high concurrency | GQP (shared operators) + SP | shared scans |
+
+Shape claims checked: the measured winner at low concurrency is a
+query-centric configuration with SP (QPipe-SP or QPipe-CS), and at high
+concurrency a GQP configuration (CJOIN-SP or CJOIN).
+"""
+
+from repro.bench.experiments import table1_rules_of_thumb
+
+
+def bench_table1_rules_of_thumb(once, save_report):
+    result = once(table1_rules_of_thumb)
+    save_report("table1_rules", result.render())
+
+    winners = result.data["winners"]
+    assert winners["low"] in ("QPipe-SP", "QPipe-CS", "QPipe")
+    assert winners["low"] != "QPipe"  # sharing scans/results helps even here
+    assert winners["high"] in ("CJOIN-SP", "CJOIN")

@@ -1,0 +1,22 @@
+"""Paper Table 2: taxonomy of sharing methodologies (structural check of
+the encoded table plus rendering)."""
+
+from repro.bench.taxonomy import TABLE2, render_table2
+
+
+def bench_table2_taxonomy(once, save_report):
+    text = once(render_table2)
+    save_report("table2_taxonomy", text)
+
+    systems = [t.system for t in TABLE2]
+    assert systems == [
+        "Traditional query-centric model",
+        "QPipe",
+        "CJOIN",
+        "DataPath",
+        "SharedDB",
+    ]
+    by_name = {t.system: t for t in TABLE2}
+    assert "Simultaneous Pipelining" in by_name["QPipe"].execution_engine_sharing
+    assert "Global Query Plan" in by_name["CJOIN"].execution_engine_sharing
+    assert "Circular scan" in by_name["QPipe"].io_layer_sharing

@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench target regenerates one table/figure of the paper (fast
+parameters by default; set ``REPRO_FULL=1`` for the paper-scale sweeps
+recorded in EXPERIMENTS.md).  Rendered tables are printed and archived
+under ``benchmarks/out/``.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+FULL = bool(os.environ.get("REPRO_FULL"))
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def full_mode() -> bool:
+    return FULL
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        suffix = "full" if FULL else "fast"
+        (OUT_DIR / f"{name}.{suffix}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark timing
+    (simulated experiments are deterministic; repeated rounds would only
+    re-measure the host machine)."""
+
+    def _once(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _once

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Paper-scale sweeps (REPRO_FULL=1), one figure at a time so partial
+# progress is preserved. Logs to benchmarks/out/full_run.log.
+cd /root/repo
+for f in fig6_push_vs_pull fig11_selectivity fig10_concurrency fig12_selectivity_conc \
+         fig13_scalefactor fig14_similarity fig15_plans fig16_mix; do
+  echo "=== $f start $(date +%T) ===" >> benchmarks/out/full_run.log
+  REPRO_FULL=1 python -m pytest "benchmarks/bench_${f}.py" --benchmark-only \
+      -p no:cacheprovider -q >> benchmarks/out/full_run.log 2>&1
+  echo "=== $f done $(date +%T) rc=$? ===" >> benchmarks/out/full_run.log
+done
+echo "=== ALL FULL RUNS COMPLETE ===" >> benchmarks/out/full_run.log

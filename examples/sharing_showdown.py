@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""When should an execution engine share?  (paper Section 5 in miniature)
+
+Sweeps concurrency for the paper's five engine configurations over random
+SSB Q3.2 instances and prints the response-time matrix -- watch the winner
+flip from query-centric operators (+SP) at low concurrency to the global
+query plan (+SP) at high concurrency, the paper's Table 1 rules of thumb.
+
+    python examples/sharing_showdown.py
+"""
+
+from repro.bench.runner import run_batch
+from repro.bench.workload import q32_random_workload
+from repro.data import generate_ssb
+from repro.engine import CJOIN, CJOIN_SP, QPIPE, QPIPE_CS, QPIPE_SP
+from repro.storage import StorageConfig
+
+CONFIGS = (QPIPE, QPIPE_CS, QPIPE_SP, CJOIN, CJOIN_SP)
+
+
+def main() -> None:
+    dataset = generate_ssb(sf=1.0, seed=42)
+    storage = StorageConfig(resident="memory")
+    levels = (1, 8, 32, 256)
+    print("SSB Q3.2, random predicates (low similarity), memory-resident SF=1")
+    print("mean response time in simulated seconds:\n")
+    header = f"{'queries':>8s}" + "".join(f"{c.name:>12s}" for c in CONFIGS)
+    print(header)
+    for n in levels:
+        workload = q32_random_workload(n, seed=42)
+        row = f"{n:8d}"
+        best_name, best_rt = None, float("inf")
+        for config in CONFIGS:
+            r = run_batch(dataset.tables, config, workload, storage)
+            row += f"{r.mean_response:12.2f}"
+            if r.mean_response < best_rt:
+                best_name, best_rt = config.name, r.mean_response
+        print(f"{row}   <- best: {best_name}")
+
+    print("\nPaper Table 1 (what the sweep above should show):")
+    print("  low concurrency  -> query-centric operators + SP (QPipe-CS/QPipe-SP)")
+    print("  high concurrency -> GQP shared operators + SP (CJOIN/CJOIN-SP)")
+    print("  I/O layer        -> shared (circular) scans, always")
+
+
+if __name__ == "__main__":
+    main()

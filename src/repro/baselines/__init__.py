@@ -1,0 +1,8 @@
+"""Baselines: a reference in-memory evaluator (correctness oracle) and a
+Volcano-style query-centric engine standing in for the paper's PostgreSQL.
+"""
+
+from repro.baselines.reference import evaluate_plan
+from repro.baselines.volcano import VolcanoEngine
+
+__all__ = ["VolcanoEngine", "evaluate_plan"]

@@ -1,0 +1,29 @@
+"""Benchmark harness: workload generators, the experiment runner, and one
+function per table/figure of the paper's evaluation (Section 5).
+
+``benchmarks/`` drives these through pytest-benchmark; the functions are
+also importable for ad-hoc exploration (see ``examples/``).
+"""
+
+from repro.bench.runner import RunResult, ThroughputResult, run_batch, run_closed_loop
+from repro.bench.workload import (
+    QueryJob,
+    ssb_mix_workload,
+    q32_limited_plans_workload,
+    q32_random_workload,
+    q32_selectivity_workload,
+    tpch_q1_workload,
+)
+
+__all__ = [
+    "QueryJob",
+    "RunResult",
+    "ThroughputResult",
+    "q32_limited_plans_workload",
+    "q32_random_workload",
+    "q32_selectivity_workload",
+    "run_batch",
+    "run_closed_loop",
+    "ssb_mix_workload",
+    "tpch_q1_workload",
+]

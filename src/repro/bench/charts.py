@@ -1,0 +1,148 @@
+"""ASCII line charts for experiment series.
+
+The paper's figures are mostly response-time-vs-concurrency plots, often on
+a log scale.  ``render_chart`` draws the same series as a terminal chart so
+a full figure (table + plot) can be read straight from the benchmark
+output::
+
+    Figure 10 (memory): response time (s)
+    3365.0 |                                             Q
+           |
+     379.1 |                                             C
+           |
+      42.7 |                              Q
+           |                              C  S
+       4.8 |                           S  J  J        J
+           | QCSJ     QCS  J  QCS  J
+       0.5 +----------------------------------------------
+             1        4        16       64       256
+
+Pure text, no dependencies; used by the CLI's ``experiment --chart`` flag
+and importable for notebooks/scripts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+#: keys an experiment's data dict may use for its x axis, in priority order.
+_X_KEYS = ("concurrency", "selectivities", "scale_factors", "plans", "delays", "max_pages", "clients")
+
+
+def chart_for(result) -> str | None:
+    """Best-effort chart for an :class:`ExperimentResult`: plots its ``rt``
+    series against whichever x-axis key its data carries.  Returns None when
+    the result has no chartable series."""
+    data = getattr(result, "data", None)
+    if not isinstance(data, dict):
+        return None
+    rt = data.get("rt")
+    if not isinstance(rt, dict):
+        return None
+    series = {k: v for k, v in rt.items() if isinstance(v, (list, tuple)) and v}
+    if not series:
+        return None
+    n = len(next(iter(series.values())))
+    series = {k: v for k, v in series.items() if len(v) == n}
+    xs = None
+    for key in _X_KEYS:
+        candidate = data.get(key)
+        if isinstance(candidate, (list, tuple)) and len(candidate) == n:
+            xs = candidate
+            break
+    if xs is None:
+        xs = list(range(n))
+    return render_chart(f"{result.experiment}: response time (s)", xs, series)
+
+
+def _ticks(lo: float, hi: float, rows: int, log: bool) -> list[float]:
+    if log:
+        llo, lhi = math.log10(lo), math.log10(hi)
+        return [10 ** (llo + (lhi - llo) * i / (rows - 1)) for i in range(rows)]
+    return [lo + (hi - lo) * i / (rows - 1) for i in range(rows)]
+
+
+def render_chart(
+    title: str,
+    xs: Sequence[float | int | str],
+    series: dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 64,
+    log_y: bool = True,
+) -> str:
+    """Render named series as an ASCII chart.
+
+    Each series is plotted with the first letter of its name (collisions
+    get successive letters); a legend maps markers back to names.  The y
+    axis is log-scale by default (most paper figures are)."""
+    if not series:
+        raise ValueError("no series to plot")
+    n = len(xs)
+    for name, ys in series.items():
+        if len(ys) != n:
+            raise ValueError(f"series {name!r} length {len(ys)} != x length {n}")
+    values = [y for ys in series.values() for y in ys if y is not None]
+    if not values:
+        raise ValueError("series contain no values")
+    lo, hi = min(values), max(values)
+    if log_y:
+        lo = max(lo, 1e-9)
+        hi = max(hi, lo * 1.0001)
+    elif hi == lo:
+        hi = lo + 1.0
+
+    # Assign a unique marker per series.
+    markers: dict[str, str] = {}
+    used: set[str] = set()
+    for name in series:
+        for ch in name + "abcdefghijklmnopqrstuvwxyz":
+            if ch.isalnum() and ch.upper() not in used:
+                markers[name] = ch.upper()
+                used.add(ch.upper())
+                break
+
+    rows = height
+    grid = [[" "] * width for _ in range(rows)]
+    xpos = [int(i * (width - 1) / max(n - 1, 1)) for i in range(n)]
+
+    def yrow(v: float) -> int:
+        if log_y:
+            frac = (math.log10(max(v, lo)) - math.log10(lo)) / (
+                math.log10(hi) - math.log10(lo)
+            )
+        else:
+            frac = (v - lo) / (hi - lo)
+        frac = min(max(frac, 0.0), 1.0)
+        return rows - 1 - int(round(frac * (rows - 1)))
+
+    for name, ys in series.items():
+        m = markers[name]
+        for i, v in enumerate(ys):
+            if v is None:
+                continue
+            r, c = yrow(v), xpos[i]
+            grid[r][c] = m if grid[r][c] == " " else "*"
+
+    # y-axis labels at a few tick rows.
+    tick_rows = {0, rows // 2, rows - 1}
+    label_vals = _ticks(lo, hi, rows, log_y)
+    lines = [title]
+    for r in range(rows):
+        v = label_vals[rows - 1 - r]
+        label = f"{v:9.3g} |" if r in tick_rows else " " * 9 + " |"
+        lines.append(label + "".join(grid[r]))
+    lines.append(" " * 10 + "+" + "-" * width)
+    # x labels spread along the axis (buffer padded so the last label fits).
+    xlabel = [" "] * (width + 11 + max(len(str(x)) for x in xs))
+    for i, x in enumerate(xs):
+        s = str(x)
+        start = 11 + xpos[i]
+        for j, ch in enumerate(s):
+            if start + j < len(xlabel):
+                xlabel[start + j] = ch
+    lines.append("".join(xlabel).rstrip())
+    legend = "   ".join(f"{markers[name]}={name}" for name in series)
+    lines.append(f"{'':9s}  [{legend}]  ('*' = overlap)")
+    return "\n".join(lines)

@@ -1,0 +1,656 @@
+"""One function per table/figure of the paper's evaluation.
+
+Each function runs the corresponding experiment on the simulated testbed
+and returns an :class:`ExperimentResult` whose ``render()`` prints the same
+rows/series the paper plots.  Parameters default to *fast* settings so the
+benchmark suite completes in minutes; pass ``full=True`` (or the explicit
+knobs) for the paper-scale sweeps recorded in EXPERIMENTS.md.
+
+Paper-vs-measured expectations (the *shape* claims each experiment must
+reproduce) are documented per function and asserted loosely in
+``tests/bench/test_experiments.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.baselines.volcano import VolcanoEngine  # noqa: F401 (re-export convenience)
+from repro.bench.reporting import format_series, format_table
+from repro.bench.runner import (
+    POSTGRES,
+    RunResult,
+    run_batch,
+    run_closed_loop,
+)
+from repro.bench.workload import (
+    mix_spec_factory,
+    q32_limited_plans_workload,
+    q32_random_workload,
+    q32_selectivity_workload,
+    ssb_mix_workload,
+    tpch_q1_workload,
+)
+from repro.data.ssb import generate_ssb
+from repro.data.tpch import generate_tpch
+from repro.engine.config import CJOIN, CJOIN_SP, QPIPE, QPIPE_CS, QPIPE_SP
+from repro.engine.wop import WindowOfOpportunity, wop_gain
+from repro.sim.machine import GB, PAPER_MACHINE
+from repro.sim.metrics import CATEGORIES
+from repro.storage.manager import StorageConfig
+
+MEMORY = StorageConfig(resident="memory")
+
+
+def disk_config(
+    bufferpool_bytes: float = 48 * GB,
+    os_cache_bytes: float = 32 * GB,
+    direct_io: bool = False,
+) -> StorageConfig:
+    return StorageConfig(
+        resident="disk",
+        bufferpool_bytes=bufferpool_bytes,
+        os_cache_bytes=os_cache_bytes,
+        direct_io=direct_io,
+    )
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment."""
+
+    experiment: str
+    tables: list[str] = field(default_factory=list)
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return "\n\n".join(self.tables)
+
+    def show(self) -> None:  # pragma: no cover - console convenience
+        print(self.render())
+
+
+def _rt_series(results: dict[str, list[RunResult]]) -> dict[str, list[float]]:
+    return {name: [r.mean_response for r in rs] for name, rs in results.items()}
+
+
+# ---------------------------------------------------------------------------
+# Figure 2b: Windows of Opportunity
+# ---------------------------------------------------------------------------
+
+
+def fig2_wop(points: int = 11) -> ExperimentResult:
+    """Paper Figure 2b: step vs linear WoP gain curves.
+
+    Expectation: step = 100% gain for any arrival before the host's first
+    output, then 0; linear = gain proportional to the remaining progress."""
+    xs = [i / (points - 1) for i in range(points)]
+    series = {
+        "step_gain_%": [100 * wop_gain(WindowOfOpportunity.STEP, x) for x in xs],
+        "linear_gain_%": [100 * wop_gain(WindowOfOpportunity.LINEAR, x) for x in xs],
+    }
+    table = format_series(
+        "Figure 2b: Window of Opportunity gain vs host progress at arrival",
+        "host_progress", [f"{x:.1f}" for x in xs], series,
+    )
+    return ExperimentResult("fig2", [table], {"xs": xs, **series})
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: push-based vs pull-based SP (TPC-H Q1, memory-resident, SF=1)
+# ---------------------------------------------------------------------------
+
+
+def fig6_push_vs_pull(
+    concurrency: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    sf: float = 1.0,
+    seed: int = 42,
+    full: bool = False,
+) -> ExperimentResult:
+    """Paper Figure 6a/b/c: identical TPC-H Q1 queries, No-SP vs circular
+    scans (CS), with FIFO (push) vs SPL (pull) communication.
+
+    Expectations: CS(FIFO) is worse than No-SP at low concurrency (producer
+    serialization) and uses ~3 cores at 64 queries; CS(SPL) is never worse
+    than No-SP and cuts CS(FIFO)'s response time by ~82-86% at high
+    concurrency; No-SP degrades sharply once plans exceed 24 cores."""
+    if full:
+        concurrency = (1, 2, 4, 8, 16, 32, 64)
+    ds = generate_tpch(sf, seed)
+    cells: dict[str, list[RunResult]] = {
+        "NoSP(FIFO)": [],
+        "CS(FIFO)": [],
+        "NoSP(SPL)": [],
+        "CS(SPL)": [],
+    }
+    selectors = {
+        "NoSP(FIFO)": QPIPE.with_comm("fifo"),
+        "CS(FIFO)": QPIPE_CS.with_comm("fifo"),
+        "NoSP(SPL)": QPIPE.with_comm("spl"),
+        "CS(SPL)": QPIPE_CS.with_comm("spl"),
+    }
+    for n in concurrency:
+        workload = tpch_q1_workload(n, ds)
+        for name, cfg in selectors.items():
+            cells[name].append(run_batch(ds.tables, cfg, workload, MEMORY))
+    rt = _rt_series(cells)
+    t_resp = format_series(
+        "Figure 6a/6b: TPC-H Q1 response time (s), push vs pull SP",
+        "queries", list(concurrency), rt,
+    )
+    speedups = {
+        "speedup_FIFO": [
+            rt["NoSP(FIFO)"][i] / rt["CS(FIFO)"][i] for i in range(len(concurrency))
+        ],
+        "speedup_SPL": [
+            rt["NoSP(SPL)"][i] / rt["CS(SPL)"][i] for i in range(len(concurrency))
+        ],
+    }
+    t_speed = format_series(
+        "Figure 6c: speedup of sharing (NoSP/CS) per communication model",
+        "queries", list(concurrency), speedups,
+        note="paper: FIFO < 1 at low concurrency; SPL >= 1 everywhere",
+    )
+    hi = len(concurrency) - 1
+    reduction = 100 * (1 - rt["CS(SPL)"][hi] / rt["CS(FIFO)"][hi])
+    t_meta = format_table(
+        "Figure 6 measurements at highest concurrency",
+        ["metric", "CS(FIFO)", "CS(SPL)"],
+        [
+            ["response (s)", rt["CS(FIFO)"][hi], rt["CS(SPL)"][hi]],
+            ["avg cores used", cells["CS(FIFO)"][hi].avg_cores_used, cells["CS(SPL)"][hi].avg_cores_used],
+            ["SPL reduction vs FIFO (%)", "", reduction],
+        ],
+        note="paper at 64 queries: CS(FIFO) 60s/3.1 cores; CS(SPL) 8s/19.1 cores; 82-86% reduction",
+    )
+    return ExperimentResult(
+        "fig6",
+        [t_resp, t_speed, t_meta],
+        {"concurrency": list(concurrency), "rt": rt, "speedups": speedups, "reduction": reduction, "cells": cells},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: impact of concurrency (SSB Q3.2, SF=1, memory & disk)
+# ---------------------------------------------------------------------------
+
+
+def fig10_concurrency(
+    concurrency: Sequence[int] = (1, 4, 16, 64, 256),
+    sf: float = 1.0,
+    seed: int = 42,
+    resident: Sequence[str] = ("memory", "disk"),
+    full: bool = False,
+) -> ExperimentResult:
+    """Paper Figure 10: random-predicate Q3.2 instances, 1..256 queries.
+
+    Expectations: at high concurrency CJOIN < QPipe-SP < QPipe-CS < QPipe;
+    QPipe saturates 24 cores and degrades sharply from ~32 queries; CJOIN
+    uses only a few cores; on disk, circular scans cut response 80-97% vs
+    independent scans at high concurrency."""
+    if full:
+        concurrency = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+    ds = generate_ssb(sf, seed)
+    configs = (QPIPE, QPIPE_CS, QPIPE_SP, CJOIN)
+    tables: list[str] = []
+    data: dict[str, Any] = {"concurrency": list(concurrency)}
+    for res in resident:
+        storage = MEMORY if res == "memory" else disk_config()
+        cells: dict[str, list[RunResult]] = {c.name: [] for c in configs}
+        for n in concurrency:
+            workload = q32_random_workload(n, seed)
+            for cfg in configs:
+                cells[cfg.name].append(run_batch(ds.tables, cfg, workload, storage))
+        rt = _rt_series(cells)
+        tables.append(
+            format_series(
+                f"Figure 10 ({res}-resident): SSB Q3.2 response time (s)",
+                "queries", list(concurrency), rt,
+            )
+        )
+        hi = len(concurrency) - 1
+        meta_rows = [
+            [c.name, cells[c.name][hi].avg_cores_used, cells[c.name][hi].avg_read_mb_s]
+            for c in configs
+        ]
+        tables.append(
+            format_table(
+                f"Figure 10 ({res}) measurements at {concurrency[hi]} queries",
+                ["config", "avg cores", "read MB/s"],
+                meta_rows,
+                note="paper (memory, 256q): cores 23.91/19.72/18.75/3.47; "
+                "(disk, 256q): read rate 1.88/74.47/97.67/156.11 MB/s",
+            )
+        )
+        data[res] = {"rt": rt, "cells": cells}
+    sp_share = data[resident[0]]["cells"]["QPipe-SP"][-1].sharing
+    tables.append(
+        format_table(
+            "QPipe-SP sharing opportunities at highest concurrency",
+            ["join", "times shared"],
+            [[k, v] for k, v in sorted(sp_share.items())],
+            note="paper (256q): 1st hash-join 126, 2nd 17, 3rd 1 (on average)",
+        )
+    )
+    return ExperimentResult("fig10", tables, data)
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: impact of selectivity (8 queries, SF=10, memory-resident)
+# ---------------------------------------------------------------------------
+
+
+def fig11_selectivity(
+    selectivities: Sequence[float] = (0.001, 0.01, 0.10, 0.30),
+    n_queries: int = 8,
+    sf: float = 10.0,
+    seed: int = 42,
+    full: bool = False,
+) -> ExperimentResult:
+    """Paper Figure 11: modified Q3.2 at 0.1%..30% fact selectivity, low
+    concurrency (8 queries: no CPU contention).
+
+    Expectations: both degrade with selectivity; CJOIN always worse than
+    QPipe-SP (admission grows with selected tuples; shared operators pay
+    bookkeeping); CJOIN's "Joins" CPU exceeds QPipe-SP's at every
+    selectivity while QPipe-SP's "Hashing" grows faster (it hashes per
+    query; CJOIN hashes once)."""
+    if full:
+        selectivities = (0.001, 0.01, 0.10, 0.20, 0.30)
+    ds = generate_ssb(sf, seed)
+    cells: dict[str, list[RunResult]] = {"QPipe-SP": [], "CJOIN": []}
+    for sel in selectivities:
+        workload = q32_selectivity_workload(n_queries, sel, seed)
+        cells["QPipe-SP"].append(run_batch(ds.tables, QPIPE_SP, workload, MEMORY))
+        cells["CJOIN"].append(run_batch(ds.tables, CJOIN, workload, MEMORY))
+    rt = _rt_series(cells)
+    rt["CJOIN admission"] = [r.admission_seconds for r in cells["CJOIN"]]
+    xs = [f"{100 * s:g}%" for s in selectivities]
+    tables = [
+        format_series(
+            f"Figure 11: response time (s) vs selectivity ({n_queries} queries, SF={sf:g}, memory)",
+            "selectivity", xs, rt,
+            note="paper: CJOIN worse than QPipe-SP at all selectivities at low concurrency",
+        )
+    ]
+    for name in ("QPipe-SP", "CJOIN"):
+        rows = [
+            [xs[i]] + [cells[name][i].cpu_breakdown[cat] for cat in CATEGORIES]
+            for i in range(len(selectivities))
+        ]
+        tables.append(
+            format_table(
+                f"Figure 11 CPU-time breakdown, {name} (core-seconds)",
+                ["selectivity", *CATEGORIES],
+                rows,
+            )
+        )
+    return ExperimentResult(
+        "fig11", tables, {"selectivities": list(selectivities), "rt": rt, "cells": cells}
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: selectivity x concurrency (30% selectivity, 16..256 queries)
+# ---------------------------------------------------------------------------
+
+
+def fig12_selectivity_concurrency(
+    concurrency: Sequence[int] = (16, 32, 64),
+    selectivity: float = 0.30,
+    sf: float = 10.0,
+    seed: int = 42,
+    full: bool = False,
+) -> ExperimentResult:
+    """Paper Figure 12: 30% selectivity, rising concurrency.
+
+    Expectations: QPipe-SP's CPU time (and response) grows superlinearly
+    with queries; CJOIN's "Hashing" stays flat (hashing is shared) and it
+    wins at high concurrency -- the reverse of Figure 11's low-concurrency
+    verdict."""
+    if full:
+        concurrency = (16, 32, 64, 128, 256)
+    ds = generate_ssb(sf, seed)
+    cells: dict[str, list[RunResult]] = {"QPipe-SP": [], "CJOIN": []}
+    for n in concurrency:
+        workload = q32_selectivity_workload(n, selectivity, seed)
+        cells["QPipe-SP"].append(run_batch(ds.tables, QPIPE_SP, workload, MEMORY))
+        cells["CJOIN"].append(run_batch(ds.tables, CJOIN, workload, MEMORY))
+    rt = _rt_series(cells)
+    rt["CJOIN admission"] = [r.admission_seconds for r in cells["CJOIN"]]
+    tables = [
+        format_series(
+            f"Figure 12: response time (s) at {100 * selectivity:g}% selectivity (SF={sf:g}, memory)",
+            "queries", list(concurrency), rt,
+            note="paper: crossover -- CJOIN wins at high concurrency",
+        )
+    ]
+    hashing = {
+        name: [cells[name][i].cpu_breakdown["hashing"] for i in range(len(concurrency))]
+        for name in cells
+    }
+    tables.append(
+        format_series(
+            "Figure 12: 'Hashing' CPU core-seconds (flat for CJOIN = shared hashing)",
+            "queries", list(concurrency), hashing,
+        )
+    )
+    return ExperimentResult(
+        "fig12",
+        tables,
+        {"concurrency": list(concurrency), "rt": rt, "hashing": hashing, "cells": cells},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: impact of scale factor (8 queries, disk, +- direct I/O)
+# ---------------------------------------------------------------------------
+
+
+def fig13_scale_factor(
+    scale_factors: Sequence[float] = (1.0, 10.0, 30.0),
+    n_queries: int = 8,
+    seed: int = 42,
+    full: bool = False,
+) -> ExperimentResult:
+    """Paper Figure 13: disk-resident databases, SF 1..100, with and
+    without direct I/O.
+
+    Expectations: response grows ~linearly with SF for both; QPipe-SP's
+    slope is smaller than CJOIN's; direct I/O (no FS cache/read-ahead)
+    exposes the CJOIN preprocessor's overhead -- its read rate drops well
+    below QPipe-SP's, while buffered I/O masks it."""
+    if full:
+        scale_factors = (1.0, 10.0, 30.0, 50.0, 100.0)
+    series: dict[str, list[float]] = {
+        "QPipe-SP": [],
+        "CJOIN": [],
+        "QPipe-SP (Direct I/O)": [],
+        "CJOIN (Direct I/O)": [],
+    }
+    read_rates: dict[str, list[float]] = {k: [] for k in series}
+    for sf in scale_factors:
+        ds = generate_ssb(sf, seed)
+        workload = q32_random_workload(n_queries, seed)
+        for direct in (False, True):
+            storage = disk_config(direct_io=direct)
+            for cfg in (QPIPE_SP, CJOIN):
+                r = run_batch(ds.tables, cfg, workload, storage)
+                key = f"{cfg.name} (Direct I/O)" if direct else cfg.name
+                series[key].append(r.mean_response)
+                read_rates[key].append(r.avg_read_mb_s)
+    tables = [
+        format_series(
+            f"Figure 13: response time (s) vs scale factor ({n_queries} queries, disk)",
+            "SF", list(scale_factors), series,
+            note="paper at SF=100: read rate QPipe-SP 97 vs CJOIN 70 MB/s buffered; "
+            "216 vs 205 MB/s direct",
+        ),
+        format_series(
+            "Figure 13: average read rate (MB/s)",
+            "SF", list(scale_factors), read_rates,
+        ),
+    ]
+    return ExperimentResult(
+        "fig13",
+        tables,
+        {"scale_factors": list(scale_factors), "rt": series, "read_rates": read_rates},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: impact of similarity (16 possible plans, SF=1, disk)
+# ---------------------------------------------------------------------------
+
+
+def fig14_similarity(
+    concurrency: Sequence[int] = (1, 8, 64, 256),
+    n_plans: int = 16,
+    sf: float = 1.0,
+    seed: int = 42,
+    full: bool = False,
+) -> ExperimentResult:
+    """Paper Figure 14: 16 possible Q3.2 plans, disk-resident SF=1.
+
+    Expectations at 256 queries: CJOIN-SP < QPipe-SP < CJOIN < QPipe-CS;
+    QPipe-SP beats plain CJOIN (high similarity favors SP's result reuse);
+    CJOIN-SP shares whole CJOIN packets (~239 times in the paper)."""
+    if full:
+        concurrency = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+    ds = generate_ssb(sf, seed)
+    configs = (QPIPE_CS, QPIPE_SP, CJOIN, CJOIN_SP)
+    cells: dict[str, list[RunResult]] = {c.name: [] for c in configs}
+    for n in concurrency:
+        workload = q32_limited_plans_workload(n, min(n_plans, n), seed)
+        for cfg in configs:
+            cells[cfg.name].append(run_batch(ds.tables, cfg, workload, disk_config()))
+    rt = _rt_series(cells)
+    hi = len(concurrency) - 1
+    tables = [
+        format_series(
+            f"Figure 14: response time (s), {n_plans} possible plans (SF={sf:g}, disk)",
+            "queries", list(concurrency), rt,
+            note="paper at 256q: QPipe-CS 50s, QPipe-SP 13s, CJOIN 14s, CJOIN-SP 12s",
+        ),
+        format_table(
+            f"Figure 14 measurements at {concurrency[hi]} queries",
+            ["config", "avg cores", "read MB/s", "cjoin shares"],
+            [
+                [
+                    c.name,
+                    cells[c.name][hi].avg_cores_used,
+                    cells[c.name][hi].avg_read_mb_s,
+                    cells[c.name][hi].sharing.get("cjoin", 0),
+                ]
+                for c in configs
+            ],
+            note="paper: CJOIN-SP shares CJOIN packets 239 times at 256 queries",
+        ),
+    ]
+    return ExperimentResult(
+        "fig14", tables, {"concurrency": list(concurrency), "rt": rt, "cells": cells}
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 15: number of possible plans at very high concurrency
+# ---------------------------------------------------------------------------
+
+
+def fig15_plan_variety(
+    n_queries: int = 128,
+    plan_counts: Sequence[int | None] = (1, 32, 128, None),
+    sf: float = 10.0,
+    seed: int = 42,
+    full: bool = False,
+) -> ExperimentResult:
+    """Paper Figure 15: 512 queries over SF=100 (buffer pool ~10% of the
+    database), varying the number of possible plans (None = fully random).
+
+    Expectations: QPipe-SP wins at extreme similarity (1 plan) and degrades
+    as variety grows; CJOIN is nearly flat; CJOIN-SP improves on CJOIN by
+    20-48% whenever common sub-plans exist and never does worse."""
+    if full:
+        n_queries, sf = 512, 100.0
+        plan_counts = (1, 128, 256, 512, None)
+    ds = generate_ssb(sf, seed)
+    bp = max(ds.real_bytes * 0.10, 1 * GB)
+    storage = disk_config(bufferpool_bytes=bp, os_cache_bytes=bp)
+    configs = (QPIPE_SP, CJOIN, CJOIN_SP)
+    cells: dict[str, list[RunResult]] = {c.name: [] for c in configs}
+    xs: list[str] = []
+    for count in plan_counts:
+        xs.append("Random" if count is None else str(count))
+        if count is None:
+            workload = q32_random_workload(n_queries, seed)
+        else:
+            workload = q32_limited_plans_workload(n_queries, count, seed)
+        for cfg in configs:
+            cells[cfg.name].append(run_batch(ds.tables, cfg, workload, storage))
+    rt = _rt_series(cells)
+    improvements = [
+        100 * (1 - rt["CJOIN-SP"][i] / rt["CJOIN"][i]) for i in range(len(xs))
+    ]
+    tables = [
+        format_series(
+            f"Figure 15: response time (s), {n_queries} queries (SF={sf:g}, BP~10%)",
+            "plans", xs, rt,
+            note="paper: CJOIN-SP improves CJOIN by 20-48% with common sub-plans",
+        ),
+        format_table(
+            "Figure 15: sharing opportunities",
+            ["plans", "QPipe-SP hj1/hj2/hj3", "CJOIN-SP packets", "CJOIN-SP gain %"],
+            [
+                [
+                    xs[i],
+                    "/".join(
+                        str(cells["QPipe-SP"][i].sharing.get(f"join:hj{d}", 0))
+                        for d in (1, 2, 3)
+                    ),
+                    cells["CJOIN-SP"][i].sharing.get("cjoin", 0),
+                    improvements[i],
+                ]
+                for i in range(len(xs))
+            ],
+            note="paper (512q): QPipe-SP 1/0/510 ... 362/82/5; CJOIN-SP 510..12 shares",
+        ),
+    ]
+    return ExperimentResult(
+        "fig15",
+        tables,
+        {"plans": xs, "rt": rt, "improvements": improvements, "cells": cells},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 16: SSB query mix -- response time and throughput vs Postgres
+# ---------------------------------------------------------------------------
+
+
+def fig16_mix(
+    concurrency: Sequence[int] = (1, 16, 128),
+    clients: Sequence[int] = (1, 16, 160),
+    sf: float = 30.0,
+    seed: int = 42,
+    duration: float = 600.0,
+    full: bool = False,
+) -> ExperimentResult:
+    """Paper Figure 16: mix of SSB Q1.1/Q2.1/Q3.2, disk-resident SF=30;
+    left: batch response times; right: closed-loop throughput.
+
+    Expectations: Postgres (mature, query-centric) wins at 1-2 queries but
+    contends beyond; QPipe-SP in between; CJOIN-SP best at high
+    concurrency, and its *throughput keeps rising* with clients while the
+    query-centric engines flatten or degrade."""
+    if full:
+        concurrency = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+        clients = (1, 16, 64, 160, 256)
+        duration = 1800.0
+    ds = generate_ssb(sf, seed)
+    storage = disk_config()
+    selectors = {"Postgres": POSTGRES, "QPipe-SP": QPIPE_SP, "CJOIN-SP": CJOIN_SP}
+    cells: dict[str, list[RunResult]] = {name: [] for name in selectors}
+    for n in concurrency:
+        workload = ssb_mix_workload(n, seed)
+        for name, sel in selectors.items():
+            cells[name].append(run_batch(ds.tables, sel, workload, storage))
+    rt = _rt_series(cells)
+    tables = [
+        format_series(
+            f"Figure 16 (left): SSB mix response time (s), SF={sf:g}, disk",
+            "queries", list(concurrency), rt,
+        )
+    ]
+    tput: dict[str, list[float]] = {name: [] for name in selectors}
+    factory = mix_spec_factory(seed)
+    for c in clients:
+        for name, sel in selectors.items():
+            r = run_closed_loop(ds.tables, sel, factory, c, duration, storage)
+            tput[name].append(r.queries_per_hour)
+    tables.append(
+        format_series(
+            f"Figure 16 (right): throughput (queries/hour), {duration:g}s closed loop",
+            "clients", list(clients), tput,
+            note="paper: CJOIN-SP throughput keeps increasing; "
+            "query-centric engines degrade with many clients",
+        )
+    )
+    return ExperimentResult(
+        "fig16",
+        tables,
+        {"concurrency": list(concurrency), "rt": rt, "clients": list(clients), "throughput": tput, "cells": cells},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 1: rules of thumb (derived)
+# ---------------------------------------------------------------------------
+
+
+def table1_rules_of_thumb(
+    low: int = 4,
+    high: int = 256,
+    sf: float = 1.0,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Paper Table 1, derived from measurements: pick the best engine
+    configuration at low and at high concurrency (plus shared scans in the
+    I/O layer) from an actual sweep over the paper's low-similarity
+    random-predicate workload (the regime Table 1 generalizes over).
+
+    Expectation: low concurrency -> query-centric operators + SP;
+    high concurrency -> GQP (shared operators) + SP; shared scans always."""
+    ds = generate_ssb(sf, seed)
+    configs = (QPIPE, QPIPE_CS, QPIPE_SP, CJOIN, CJOIN_SP)
+    verdicts = []
+    winners: dict[str, str] = {}
+    for label, n in (("low", low), ("high", high)):
+        workload = q32_random_workload(n, seed)
+        results = {
+            cfg.name: run_batch(ds.tables, cfg, workload, disk_config()) for cfg in configs
+        }
+        best = min(results.values(), key=lambda r: r.mean_response)
+        winners[label] = best.config_name
+        verdicts.append([label, n, best.config_name] + [results[c.name].mean_response for c in configs])
+    table = format_table(
+        "Table 1 (derived): best sharing strategy by concurrency regime",
+        ["regime", "queries", "winner", *[c.name for c in configs]],
+        verdicts,
+        note="paper: low -> query-centric + SP; high -> GQP + SP; shared scans in the I/O layer always",
+    )
+    return ExperimentResult("table1", [table], {"winners": winners, "rows": verdicts})
+
+
+# ---------------------------------------------------------------------------
+# Section 4.1 ablation: SPL maximum size
+# ---------------------------------------------------------------------------
+
+
+def spl_max_size_ablation(
+    max_pages: Sequence[int] = (1, 2, 8, 64, 512),
+    n_queries: int = 8,
+    sf: float = 1.0,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Paper Section 4.1 (no graph shown): varying the SPL bound from tiny
+    to effectively unbounded "does not heavily affect performance" -- which
+    is why the paper picks 256 KB (8 pages).
+
+    Expectation: response time roughly flat across bounds."""
+    import dataclasses
+
+    ds = generate_tpch(sf, seed)
+    workload = tpch_q1_workload(n_queries, ds)
+    rts = []
+    for mp in max_pages:
+        cfg = dataclasses.replace(QPIPE_CS, spl_max_pages=mp)
+        rts.append(run_batch(ds.tables, cfg, workload, MEMORY).mean_response)
+    table = format_series(
+        f"SPL maximum size ablation ({n_queries} identical Q1, CS(SPL))",
+        "max_pages", list(max_pages), {"response_s": rts},
+        note="paper: SPL size does not heavily affect performance (256KB chosen)",
+    )
+    return ExperimentResult(
+        "spl_maxsize", [table], {"max_pages": list(max_pages), "rt": rts}
+    )

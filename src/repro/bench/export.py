@@ -1,0 +1,71 @@
+"""Export experiment results to CSV and JSON.
+
+Downstream users plot with their own tools; every
+:class:`~repro.bench.experiments.ExperimentResult` can be dumped as
+machine-readable files next to the text tables that ``benchmarks/``
+archives.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.runner import RunResult
+
+
+def run_result_to_dict(result: RunResult) -> dict[str, Any]:
+    """A plain-dict view of one run's measurements."""
+    return {
+        "config": result.config_name,
+        "n_queries": result.n_queries,
+        "mean_response_s": result.mean_response,
+        "stdev_response_s": result.stdev_response,
+        "sim_seconds": result.sim_seconds,
+        "avg_cores_used": result.avg_cores_used,
+        "avg_read_mb_s": result.avg_read_mb_s,
+        "cpu_breakdown": dict(result.cpu_breakdown),
+        "sharing": dict(result.sharing),
+        "admission_seconds": result.admission_seconds,
+        "response_times": list(result.response_times),
+    }
+
+
+def _plain(value: Any) -> Any:
+    """Recursively convert experiment data to JSON-safe values."""
+    if isinstance(value, RunResult):
+        return run_result_to_dict(value)
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def experiment_to_json(result: ExperimentResult, indent: int = 2) -> str:
+    """Serialize an experiment's structured data as JSON."""
+    return json.dumps(
+        {"experiment": result.experiment, "data": _plain(result.data)},
+        indent=indent,
+        sort_keys=True,
+    )
+
+
+def series_to_csv(x_name: str, xs: list, series: dict[str, list[float]]) -> str:
+    """Render x-indexed series as CSV (one row per x, one column per
+    series) -- the format the paper-figure data naturally takes."""
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow([x_name, *names])
+    for i, x in enumerate(xs):
+        writer.writerow([x] + [series[name][i] for name in names])
+    return buf.getvalue()

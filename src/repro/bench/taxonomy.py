@@ -1,0 +1,71 @@
+"""Paper Table 2: taxonomy of sharing methodologies.
+
+Encoded as structured data (and rendered as the paper's table) so examples
+and docs can reference it programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.reporting import format_table
+
+
+@dataclass(frozen=True)
+class SystemTaxonomy:
+    """One row of the paper's Table 2."""
+    system: str
+    execution_engine_sharing: str
+    io_layer_sharing: str
+    storage_manager: str
+    reproduced_by: str  # which module of this library models it
+
+
+TABLE2 = (
+    SystemTaxonomy(
+        "Traditional query-centric model",
+        "Query caching, materialized views, MQO",
+        "Buffer pool management techniques",
+        "Any",
+        "repro.baselines.volcano",
+    ),
+    SystemTaxonomy(
+        "QPipe",
+        "Simultaneous Pipelining",
+        "Circular scan of each table",
+        "Any (Shore-MT in the paper)",
+        "repro.engine",
+    ),
+    SystemTaxonomy(
+        "CJOIN",
+        "Global Query Plan (joins of star queries)",
+        "Circular scan of the fact table",
+        "Any",
+        "repro.gqp",
+    ),
+    SystemTaxonomy(
+        "DataPath",
+        "Global Query Plan",
+        "Asynchronous linear scan of each disk",
+        "Special I/O subsystem (read-only)",
+        "discussed in DESIGN.md (not reproduced; paper uses CJOIN)",
+    ),
+    SystemTaxonomy(
+        "SharedDB",
+        "Global Query Plan (with batched execution)",
+        "Circular scan of in-memory table partitions",
+        "Crescando (reads and updates)",
+        "discussed in DESIGN.md (not reproduced; paper uses CJOIN)",
+    ),
+)
+
+
+def render_table2() -> str:
+    return format_table(
+        "Table 2: sharing methodologies by system",
+        ["system", "execution engine", "I/O layer", "storage manager", "in this repo"],
+        [
+            [t.system, t.execution_engine_sharing, t.io_layer_sharing, t.storage_manager, t.reproduced_by]
+            for t in TABLE2
+        ],
+    )

@@ -1,0 +1,268 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Run a workload on one engine configuration and print the measurements::
+
+        python -m repro run --config qpipe-sp --workload q32-random -n 64
+        python -m repro run --config cjoin-sp --workload ssb-mix -n 32 --disk
+
+``query``
+    Run one SSB query (any of the thirteen) and print its result rows::
+
+        python -m repro query Q3.2 --config cjoin-sp --sf 1
+
+``experiment``
+    Regenerate a paper figure/table::
+
+        python -m repro experiment fig6
+        python -m repro experiment fig10 --full
+
+``list``
+    Show available engine configurations, workloads and experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.bench import runner as _runner
+from repro.bench import workload as _workload
+from repro.bench.reporting import format_table
+from repro.data.ssb import generate_ssb
+from repro.data.tpch import generate_tpch
+from repro.engine.config import CJOIN, CJOIN_SP, QPIPE, QPIPE_CS, QPIPE_SP
+from repro.sim.machine import GB
+from repro.storage.manager import StorageConfig
+
+import dataclasses as _dc
+
+CONFIGS = {
+    "qpipe": QPIPE,
+    "qpipe-cs": QPIPE_CS,
+    "qpipe-sp": QPIPE_SP,
+    "cjoin": CJOIN,
+    "cjoin-sp": CJOIN_SP,
+    "cjoin-sp-shagg": _dc.replace(
+        CJOIN_SP, shared_aggregation=True, name="CJOIN-SP+shagg"
+    ),
+    "postgres": _runner.POSTGRES,
+    "hybrid": _runner.HYBRID,
+}
+
+WORKLOADS = ("q32-random", "q32-plans", "q32-selectivity", "ssb-mix", "tpch-q1")
+
+
+def _experiments() -> dict[str, Callable]:
+    from repro.bench import ablations, experiments
+
+    return {
+        "fig2": experiments.fig2_wop,
+        "fig6": experiments.fig6_push_vs_pull,
+        "fig10": experiments.fig10_concurrency,
+        "fig11": experiments.fig11_selectivity,
+        "fig12": experiments.fig12_selectivity_concurrency,
+        "fig13": experiments.fig13_scale_factor,
+        "fig14": experiments.fig14_similarity,
+        "fig15": experiments.fig15_plan_variety,
+        "fig16": experiments.fig16_mix,
+        "table1": experiments.table1_rules_of_thumb,
+        "spl-maxsize": experiments.spl_max_size_ablation,
+        "ablate-distributor": ablations.ablate_distributor_parts,
+        "ablate-filters": ablations.ablate_filter_workers,
+        "ablate-oversub": ablations.ablate_oversubscription,
+        "ablate-prediction": ablations.ablate_prediction_model,
+        "ablate-hybrid": ablations.ablate_hybrid_routing,
+        "ablate-threads": ablations.ablate_thread_configuration,
+        "ablate-batching": ablations.ablate_batched_execution,
+        "interarrival": ablations.interarrival_sweep,
+    }
+
+
+def _storage_config(args) -> StorageConfig:
+    if args.disk:
+        return StorageConfig(
+            resident="disk",
+            bufferpool_bytes=args.bufferpool_gb * GB,
+            direct_io=args.direct_io,
+        )
+    return StorageConfig(resident="memory")
+
+
+def _build_workload(args):
+    if args.workload == "tpch-q1":
+        dataset = generate_tpch(args.sf, args.seed)
+        return dataset.tables, _workload.tpch_q1_workload(args.n, dataset)
+    dataset = generate_ssb(args.sf, args.seed)
+    if args.workload == "q32-random":
+        jobs = _workload.q32_random_workload(args.n, args.seed)
+    elif args.workload == "q32-plans":
+        jobs = _workload.q32_limited_plans_workload(args.n, args.plans, args.seed)
+    elif args.workload == "q32-selectivity":
+        jobs = _workload.q32_selectivity_workload(args.n, args.selectivity, args.seed)
+    elif args.workload == "ssb-mix":
+        jobs = _workload.ssb_mix_workload(args.n, args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown workload {args.workload}")
+    return dataset.tables, jobs
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_run(args) -> int:
+    """Run one workload on one engine configuration and print metrics."""
+    tables, jobs = _build_workload(args)
+    result = _runner.run_batch(tables, CONFIGS[args.config], jobs, _storage_config(args))
+    rows = [
+        ["configuration", result.config_name],
+        ["queries", result.n_queries],
+        ["mean response (s)", result.mean_response],
+        ["stdev response (s)", result.stdev_response],
+        ["makespan (s)", result.sim_seconds],
+        ["avg cores used", result.avg_cores_used],
+        ["avg read MB/s", result.avg_read_mb_s],
+        ["total CPU (core-s)", result.total_cpu_seconds],
+        ["CJOIN admission (s)", result.admission_seconds],
+    ]
+    print(format_table(f"{args.workload} x{args.n} on {result.config_name}", ["metric", "value"], rows))
+    if result.sharing:
+        print()
+        print(
+            format_table(
+                "sharing events",
+                ["stage", "count"],
+                sorted(result.sharing.items()),
+            )
+        )
+    return 0
+
+
+def cmd_query(args) -> int:
+    """Run one SSB query and print its result rows."""
+    from repro.engine.qpipe import QPipeEngine
+    from repro.query.ssb_suite import default_instance
+    from repro.sim.costmodel import DEFAULT_COST_MODEL
+    from repro.sim.engine import Simulator
+    from repro.sim.machine import PAPER_MACHINE
+    from repro.storage.manager import StorageManager
+
+    spec = default_instance(args.name)
+    dataset = generate_ssb(args.sf, args.seed)
+    sim = Simulator(PAPER_MACHINE)
+    storage = StorageManager(sim, DEFAULT_COST_MODEL, dataset.tables, _storage_config(args))
+    selector = CONFIGS[args.config]
+    if not hasattr(selector, "name"):
+        raise SystemExit("query command needs a QPipe engine config (not postgres/hybrid)")
+    engine = QPipeEngine(sim, storage, selector)
+    handle = engine.submit(spec)
+    sim.run()
+    print(f"{args.name} on {selector.name}: {len(handle.results)} rows "
+          f"in {handle.response_time:.2f} simulated seconds")
+    schema = handle.root_packet.node.schema
+    print(format_table("results", list(schema.names), handle.results[: args.limit]))
+    if len(handle.results) > args.limit:
+        print(f"... and {len(handle.results) - args.limit} more rows")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    """Regenerate a paper figure/table (optionally charted / as JSON)."""
+    experiments = _experiments()
+    fn = experiments[args.name]
+    kwargs = {}
+    if args.full:
+        import inspect
+
+        if "full" in inspect.signature(fn).parameters:
+            kwargs["full"] = True
+    result = fn(**kwargs)
+    print(result.render())
+    if args.chart:
+        from repro.bench.charts import chart_for
+
+        chart = chart_for(result)
+        if chart:
+            print()
+            print(chart)
+        else:
+            print("\n(no chartable response-time series in this experiment)")
+    if args.json:
+        from repro.bench.export import experiment_to_json
+
+        print()
+        print(experiment_to_json(result))
+    return 0
+
+
+def cmd_list(_args) -> int:
+    """List engine configurations, workloads and experiments."""
+    print(format_table("engine configurations", ["name"], [[n] for n in CONFIGS]))
+    print()
+    print(format_table("workloads", ["name"], [[n] for n in WORKLOADS]))
+    print()
+    print(format_table("experiments", ["name"], [[n] for n in _experiments()]))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Sharing Data and Work Across Concurrent "
+        "Analytical Queries' (VLDB 2013) on a simulated multicore server.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a workload on one engine configuration")
+    p_run.add_argument("--config", choices=sorted(CONFIGS), default="qpipe-sp")
+    p_run.add_argument("--workload", choices=WORKLOADS, default="q32-random")
+    p_run.add_argument("-n", type=int, default=16, help="number of queries")
+    p_run.add_argument("--sf", type=float, default=1.0, help="scale factor")
+    p_run.add_argument("--seed", type=int, default=42)
+    p_run.add_argument("--plans", type=int, default=16, help="distinct plans (q32-plans)")
+    p_run.add_argument("--selectivity", type=float, default=0.10, help="fact selectivity (q32-selectivity)")
+    p_run.add_argument("--disk", action="store_true", help="disk-resident database")
+    p_run.add_argument("--direct-io", action="store_true", help="bypass the OS cache")
+    p_run.add_argument("--bufferpool-gb", type=float, default=48.0)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_query = sub.add_parser("query", help="run one SSB query and print its rows")
+    p_query.add_argument("name", help="SSB query name, e.g. Q3.2")
+    p_query.add_argument("--config", choices=sorted(CONFIGS), default="qpipe-sp")
+    p_query.add_argument("--sf", type=float, default=1.0)
+    p_query.add_argument("--seed", type=int, default=42)
+    p_query.add_argument("--limit", type=int, default=20, help="max rows to print")
+    p_query.add_argument("--disk", action="store_true")
+    p_query.add_argument("--direct-io", action="store_true")
+    p_query.add_argument("--bufferpool-gb", type=float, default=48.0)
+    p_query.set_defaults(fn=cmd_query)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    p_exp.add_argument("name", choices=sorted(_experiments()))
+    p_exp.add_argument("--full", action="store_true", help="paper-scale parameters")
+    p_exp.add_argument("--chart", action="store_true", help="also draw an ASCII chart")
+    p_exp.add_argument("--json", action="store_true", help="also dump machine-readable JSON")
+    p_exp.set_defaults(fn=cmd_experiment)
+
+    p_list = sub.add_parser("list", help="list configurations, workloads, experiments")
+    p_list.set_defaults(fn=cmd_list)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

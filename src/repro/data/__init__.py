@@ -1,0 +1,18 @@
+"""Dataset generators: Star Schema Benchmark and TPC-H lineitem.
+
+Generated tables are scaled-down replicas (~1/1000 of real cardinality) with
+per-table ``row_weight`` factors so that simulated CPU/I-O charges reflect
+paper-scale volumes.  See DESIGN.md ("Data-scale substitution").
+"""
+
+from repro.data.ssb import SSB_NATIONS, SSB_REGIONS, SsbDataset, generate_ssb
+from repro.data.tpch import TpchDataset, generate_tpch
+
+__all__ = [
+    "SSB_NATIONS",
+    "SSB_REGIONS",
+    "SsbDataset",
+    "TpchDataset",
+    "generate_ssb",
+    "generate_tpch",
+]

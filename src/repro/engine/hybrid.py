@@ -1,0 +1,93 @@
+"""The paper's conclusion as a policy: dynamic sharing selection.
+
+    "In conclusion, analytical query engines should dynamically choose
+    between query-centric operators with SP for low concurrency and GQP
+    with shared operators enhanced by SP for high concurrency."
+
+:class:`HybridEngine` implements exactly that: one simulator hosts *both* a
+QPipe-SP engine and a CJOIN-SP engine (they share the storage manager, so
+circular scans and caches are common), and each incoming star query is
+routed by a concurrency threshold -- below it, the query-centric plan with
+SP; at or above it, the shared-operator GQP with SP.  Table 1's "shared
+scans always" comes for free: both engines run with ``sp_scan``.
+
+The default threshold follows the paper's simple heuristic -- "the point
+when resources become saturated" -- i.e. enough in-flight queries to cover
+the machine's cores.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine.config import CJOIN_SP, QPIPE_SP
+from repro.engine.qpipe import QPipeEngine, QueryHandle
+from repro.query.star import StarQuerySpec
+from repro.sim.costmodel import DEFAULT_COST_MODEL, CostModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.storage.manager import StorageManager
+
+
+class HybridEngine:
+    """Routes star queries between QPipe-SP and CJOIN-SP by load."""
+
+    name = "Hybrid"
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        storage: "StorageManager",
+        cost: CostModel = DEFAULT_COST_MODEL,
+        threshold: int | None = None,
+    ):
+        self.sim = sim
+        self.storage = storage
+        #: in-flight queries at/above which new arrivals go to the GQP;
+        #: default: the machine saturates (one plan busies ~2 cores).
+        self.threshold = threshold if threshold is not None else max(sim.machine.cores // 2, 1)
+        self.query_centric = QPipeEngine(sim, storage, QPIPE_SP, cost)
+        self.gqp = QPipeEngine(sim, storage, CJOIN_SP, cost)
+        self._in_flight = 0
+        self.routed: dict[str, int] = {"query-centric": 0, "gqp": 0}
+        self.handles: list[QueryHandle] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    def submit(self, spec: StarQuerySpec, label: str | None = None) -> QueryHandle:
+        """Route a star query by current concurrency and submit."""
+        if self._in_flight >= self.threshold:
+            engine = self.gqp
+            self.routed["gqp"] += 1
+        else:
+            engine = self.query_centric
+            self.routed["query-centric"] += 1
+        return self._track(engine.submit(spec, label=label))
+
+    def submit_plan(self, plan, label: str = "", spec: StarQuerySpec | None = None) -> QueryHandle:
+        """Non-star plans (e.g. TPC-H Q1) always run query-centric: the GQP
+        only evaluates star-query joins."""
+        self.routed["query-centric"] += 1
+        return self._track(self.query_centric.submit_plan(plan, label=label, spec=spec))
+
+    def _track(self, handle: QueryHandle) -> QueryHandle:
+        self.handles.append(handle)
+        self._in_flight += 1
+        self.sim.spawn(
+            self._watch(handle),
+            name=f"hybrid-watch-q{handle.query.query_id}",
+            daemon=True,
+        )
+        return handle
+
+    def _watch(self, handle: QueryHandle):
+        yield from handle.wait()
+        self._in_flight -= 1
+
+    # ------------------------------------------------------------------
+    def sharing_summary(self) -> dict[str, int]:
+        return dict(self.sim.metrics.sharing_events)

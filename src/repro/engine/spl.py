@@ -1,0 +1,206 @@
+"""Shared Pages Lists (SPL): pull-based sharing for Simultaneous Pipelining.
+
+This is the paper's Section 4 contribution.  An SPL is a bounded linked list
+of pages with **one producer and many consumers**: the producer appends at
+the head and pays only its own append cost; each consumer walks the list
+independently and pays its own read cost.  Sharing therefore adds *nothing*
+to the producer's critical path -- the serialization point of push-based SP
+disappears, and SP becomes beneficial at every concurrency level.
+
+Design elements from the paper's Figure 8:
+
+* a lock (charged as ``locks`` CPU per operation; contention is modelled by
+  the lock's wait queue),
+* per-page atomic reader counters -- the last consumer deletes the page,
+* a bounded maximum size -- the producer blocks when consumers lag,
+* per-consumer points of entry and page budgets for the **linear WoP**:
+  a consumer joining a circular scan mid-stream is addressed exactly
+  ``num_pages`` pages from its entry point; the page on which its budget
+  reaches zero records it as a *finishing packet* and it stops being
+  addressed by subsequent pages.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.sim.commands import CPU
+from repro.sim.sync import Condition, Lock
+from repro.storage.page import Batch
+
+from repro.engine.exchange import END
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.costmodel import CostModel
+    from repro.sim.engine import Simulator
+
+_spl_ids = itertools.count()
+
+
+class _SplPage:
+    __slots__ = ("batch", "readers")
+
+    def __init__(self, batch: Batch, readers: int):
+        self.batch = batch
+        self.readers = readers
+
+
+class SplConsumer:
+    """One consumer's cursor into an SPL."""
+
+    __slots__ = ("spl", "next_seq", "addressed", "read_count", "budget", "closed_for_new", "entry_seq")
+
+    def __init__(self, spl: "SharedPagesList", entry_seq: int, budget: int | None):
+        self.spl = spl
+        self.entry_seq = entry_seq  # point of entry (paper 4.2)
+        self.next_seq = entry_seq
+        self.addressed = 0  # pages emitted while this consumer was active
+        self.read_count = 0
+        self.budget = budget  # pages still to be addressed; None = unbounded
+        self.closed_for_new = budget == 0
+
+    def read(self) -> Iterator[Any]:
+        batch = yield from self.spl.read(self)
+        return batch
+
+
+class SharedPagesList:
+    """Single-producer(*) multi-consumer bounded list of pages.
+
+    (*) The CJOIN distributor uses several distributor-part threads feeding
+    one query's output; emission is lock-protected, so multiple producers
+    interleave safely -- ``close`` must still be called exactly once."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        cost: "CostModel",
+        max_pages: int,
+        name: str | None = None,
+    ):
+        if max_pages < 1:
+            raise ValueError("max_pages must be >= 1")
+        self.sim = sim
+        self.cost = cost
+        self.max_pages = max_pages
+        self.name = name or f"spl{next(_spl_ids)}"
+        self._pages: dict[int, _SplPage] = {}
+        self._head_seq = 0
+        self._consumers: list[SplConsumer] = []
+        self._producer_done = False
+        self._lock = Lock(sim, f"{self.name}.lock", acquire_cycles=cost.spl_lock_cycles)
+        self._not_empty = Condition(sim, f"{self.name}.ne")
+        self._not_full = Condition(sim, f"{self.name}.nf")
+        self.pages_emitted = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._producer_done
+
+    @property
+    def size(self) -> int:
+        """Pages currently retained (emitted but not yet fully consumed)."""
+        return len(self._pages)
+
+    @property
+    def active_consumers(self) -> int:
+        """Consumers still being addressed by new pages."""
+        return sum(1 for c in self._consumers if not c.closed_for_new)
+
+    def register(self, budget: int | None = None) -> SplConsumer:
+        """Add a consumer at the current head (its point of entry)."""
+        consumer = SplConsumer(self, self._head_seq, budget)
+        self._consumers.append(consumer)
+        return consumer
+
+    # ------------------------------------------------------------------
+    def emit(self, batch: Batch) -> Iterator[Any]:
+        """Producer: append one page.  Blocks while the list is at its
+        maximum size.  The producer pays only its own append cost."""
+        if self._producer_done:
+            raise RuntimeError(f"emit on closed SPL {self.name!r}")
+        yield CPU(self.cost.spl_emit_page, "misc")
+        yield from self._lock.acquire()
+        try:
+            while len(self._pages) >= self.max_pages:
+                self._lock.release()
+                yield from self._not_full.wait()
+                yield from self._lock.acquire()
+            active = [c for c in self._consumers if not c.closed_for_new]
+            if active:
+                self._pages[self._head_seq] = _SplPage(batch, len(active))
+                for c in active:
+                    c.addressed += 1
+                    if c.budget is not None:
+                        c.budget -= 1
+                        if c.budget == 0:
+                            # Finishing packet: stop addressing it.
+                            c.closed_for_new = True
+            self._head_seq += 1
+            self.pages_emitted += 1
+            self._not_empty.notify_all()
+        finally:
+            self._lock.release()
+
+    def close(self) -> None:
+        """Producer finished; consumers drain and then see END."""
+        self._producer_done = True
+        self._not_empty.notify_all()
+
+    # ------------------------------------------------------------------
+    def read(self, consumer: SplConsumer) -> Iterator[Any]:
+        """Consumer: fetch the next page addressed to it, or END."""
+        while True:
+            yield from self._lock.acquire()
+            if consumer.read_count < consumer.addressed:
+                page = self._pages[consumer.next_seq]
+                batch = page.batch
+                page.readers -= 1
+                if page.readers == 0:
+                    del self._pages[consumer.next_seq]
+                    self._not_full.notify_all()
+                consumer.next_seq += 1
+                consumer.read_count += 1
+                self._lock.release()
+                yield CPU(self.cost.spl_read_page, "misc")
+                return batch
+            done = consumer.closed_for_new or self._producer_done
+            self._lock.release()
+            if done:
+                return END
+            yield from self._not_empty.wait()
+
+
+class SplExchange:
+    """Exchange facade over an SPL, mirroring :class:`FifoExchange`."""
+
+    kind = "spl"
+
+    def __init__(self, sim: "Simulator", cost: "CostModel", max_pages: int, name: str):
+        self.spl = SharedPagesList(sim, cost, max_pages, name)
+        self.name = name
+
+    @property
+    def closed(self) -> bool:
+        return self.spl.closed
+
+    @property
+    def active_consumers(self) -> int:
+        return self.spl.active_consumers
+
+    @property
+    def pages_emitted(self) -> int:
+        return self.spl.pages_emitted
+
+    def open_reader(self, budget: int | None = None) -> SplConsumer:
+        if self.spl.closed:
+            raise RuntimeError(f"open_reader on closed exchange {self.name!r}")
+        return self.spl.register(budget)
+
+    def emit(self, batch: Batch) -> Iterator[Any]:
+        yield from self.spl.emit(batch)
+
+    def close(self) -> None:
+        self.spl.close()

@@ -1,0 +1,86 @@
+"""Stage base: packet admission, sharing detection, worker spawning.
+
+Each stage keeps a registry of in-flight host packets keyed by plan
+signature.  Admitting a packet whose signature matches a registered host
+*inside the host's Window of Opportunity* attaches it as a satellite: its
+whole sub-plan is cancelled and its consumers reuse the host's results
+(paper Section 2.3)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.engine.packet import Packet
+from repro.engine.wop import STAGE_WOP, WindowOfOpportunity
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.qpipe import QPipeEngine
+    from repro.query.plan import PlanNode
+    from repro.query.star import Query
+
+
+class Stage:
+    """One relational-operator stage of the QPipe engine."""
+
+    def __init__(self, engine: "QPipeEngine", name: str):
+        self.engine = engine
+        self.name = name
+        self.wop = STAGE_WOP.get(name, WindowOfOpportunity.NONE)
+        self._registry: dict[tuple, Packet] = {}
+        self.packets_admitted = 0
+        self.packets_shared = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def sp_enabled(self) -> bool:
+        cfg = self.engine.config
+        return {
+            "tablescan": cfg.sp_scan,
+            "join": cfg.sp_join,
+            "aggregate": cfg.sp_agg,
+            "sort": cfg.sp_sort,
+            "cjoin": cfg.sp_cjoin,
+        }.get(self.name, False)
+
+    def make_packet(self, node: "PlanNode", query: "Query") -> Packet:
+        return Packet(node, query, self.name, self.wop)
+
+    def admit(self, packet: Packet) -> bool:
+        """Register ``packet``; returns True if it attached as a satellite
+        (in which case the caller must not build its sub-plan)."""
+        self.packets_admitted += 1
+        if self.sp_enabled:
+            host = self._registry.get(packet.signature)
+            if host is not None and host.can_attach():
+                host.attach_satellite(packet)
+                self.packets_shared += 1
+                self._record_sharing(packet)
+                return True
+        packet.exchange = self.engine.new_exchange(f"{self.name}.p{packet.packet_id}")
+        if self.sp_enabled:
+            # Replaces a host that fell out of its WoP, if any.
+            self._registry[packet.signature] = packet
+        return False
+
+    def unregister(self, packet: Packet) -> None:
+        """Remove a host from the registry (step WoP: on first output)."""
+        if self._registry.get(packet.signature) is packet:
+            del self._registry[packet.signature]
+
+    def spawn_worker(self, packet: Packet, gen: Generator[Any, Any, Any]) -> None:
+        self.engine.sim.spawn(
+            gen,
+            name=f"q{packet.query.query_id}-{self.name}-p{packet.packet_id}",
+            query_id=packet.query.query_id,
+        )
+
+    # ------------------------------------------------------------------
+    def _sharing_label(self, packet: Packet) -> str:
+        label = getattr(packet.node, "label", None)
+        return f"{self.name}:{label}" if label else self.name
+
+    def _record_sharing(self, packet: Packet) -> None:
+        self.engine.sim.metrics.record_sharing(self._sharing_label(packet))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Stage {self.name} hosts={len(self._registry)}>"

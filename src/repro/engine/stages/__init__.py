@@ -1,0 +1,15 @@
+"""Operator stages of the QPipe engine."""
+
+from repro.engine.stages.aggregate import AggregateStage
+from repro.engine.stages.inputs import FilteredInput
+from repro.engine.stages.join import HashJoinStage
+from repro.engine.stages.scan import TableScanStage
+from repro.engine.stages.sort import SortStage
+
+__all__ = [
+    "AggregateStage",
+    "FilteredInput",
+    "HashJoinStage",
+    "SortStage",
+    "TableScanStage",
+]

@@ -1,0 +1,64 @@
+"""Consumer-side input wrapper: read + fused selection.
+
+Selections never get their own packets (see :mod:`repro.query.plan`); the
+consuming operator reads its input through a :class:`FilteredInput`, which
+charges the consumer's per-tuple read cost and -- when the input was wrapped
+in SelectNodes -- evaluates the fused predicate, charging per predicate
+term.  Keeping predicate evaluation on the *consumer* side is what lets a
+raw circular scan be shared by queries with different predicates."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.engine.exchange import END
+from repro.query.expr import And, Expr
+from repro.query.plan import PlanNode, SelectNode
+from repro.storage.page import Batch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.costmodel import CostModel
+
+
+def unwrap_selects(node: PlanNode) -> tuple[PlanNode, Expr | None]:
+    """Strip a chain of SelectNodes, folding predicates into one conjunction
+    (outermost select evaluated last, matching plan semantics)."""
+    predicate: Expr | None = None
+    while isinstance(node, SelectNode):
+        predicate = node.predicate if predicate is None else And(node.predicate, predicate)
+        node = node.child
+    return node, predicate
+
+
+class FilteredInput:
+    """A reader plus an optional fused predicate."""
+
+    def __init__(
+        self,
+        reader: Any,
+        cost: "CostModel",
+        predicate: Expr | None,
+        schema,
+        charge_read: bool = True,
+    ):
+        self.reader = reader
+        self.cost = cost
+        self.schema = schema
+        self.charge_read = charge_read
+        self.terms = predicate.terms if predicate is not None else 0
+        self._pred = predicate.compile(schema) if predicate is not None else None
+
+    def read(self) -> Iterator[Any]:
+        """Next (filtered) batch, or END."""
+        batch = yield from self.reader.read()
+        if batch is END:
+            return END
+        n = len(batch.rows)
+        if self.charge_read and n:
+            yield self.cost.read(n, batch.weight)
+        if self._pred is None or n == 0:
+            return batch
+        yield self.cost.predicate(n, batch.weight, max(self.terms, 1))
+        pred = self._pred
+        kept = [r for r in batch.rows if pred(r)]
+        return Batch(kept, batch.weight)

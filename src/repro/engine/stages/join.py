@@ -1,0 +1,83 @@
+"""The hash-join stage (query-centric joins, step WoP).
+
+One worker per host packet: build a hash table from the (filtered) build
+input, then stream the probe input.  Cost charges split per the paper's
+breakdown: ``hash()``/``equal()`` cycles under "hashing", build/probe
+bookkeeping and output materialization under "joins"."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.sim.commands import CPU
+from repro.engine.exchange import END
+from repro.engine.packet import Packet
+from repro.engine.stage import Stage
+from repro.engine.stages.inputs import FilteredInput
+from repro.storage.page import Batch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.query.plan import HashJoinNode
+
+
+class HashJoinStage(Stage):
+    """The query-centric hash-join stage (step WoP)."""
+    def __init__(self, engine):
+        super().__init__(engine, "join")
+
+    def run(self, packet: Packet, probe_input: FilteredInput, build_input: FilteredInput) -> None:
+        self.spawn_worker(packet, self._work(packet, probe_input, build_input))
+
+    def _work(
+        self, packet: Packet, probe_input: FilteredInput, build_input: FilteredInput
+    ) -> Iterator[Any]:
+        node: "HashJoinNode" = packet.node
+        cost = self.engine.cost
+        exchange = packet.exchange
+        yield CPU(cost.packet_dispatch, "misc")
+
+        # ---- build phase --------------------------------------------
+        build_key = build_input.schema.index(node.build_key)
+        table: dict[Any, list[tuple]] = {}
+        while True:
+            batch = yield from build_input.read()
+            if batch is END:
+                break
+            rows = batch.rows
+            if not rows:
+                continue
+            n, w = len(rows), batch.weight
+            yield cost.hashing(n, w)
+            yield cost.build(n, w)
+            for r in rows:
+                table.setdefault(r[build_key], []).append(r)
+
+        # ---- probe phase --------------------------------------------
+        probe_key = probe_input.schema.index(node.probe_key)
+        get = table.get
+        while True:
+            batch = yield from probe_input.read()
+            if batch is END:
+                break
+            rows = batch.rows
+            if not rows:
+                continue
+            n, w = len(rows), batch.weight
+            out: list[tuple] = []
+            for r in rows:
+                matches = get(r[probe_key])
+                if matches:
+                    for m in matches:
+                        out.append(r + m)
+            yield cost.hashing(n, w, equals=len(out))
+            yield cost.probe(n, w)
+            if out:
+                yield cost.emit_join(len(out), w)
+                if not packet.started_emitting:
+                    packet.mark_started()
+                    self.unregister(packet)  # step WoP closes
+                yield from exchange.emit(Batch(out, w))
+
+        exchange.close()
+        packet.finished = True
+        self.unregister(packet)

@@ -1,0 +1,57 @@
+"""Windows of Opportunity (WoP).
+
+The WoP of a pivot operator relates the arrival of a new identical packet
+(during the host's execution) to the fraction of the host's results it can
+reuse (paper Figure 2b):
+
+* **step** -- joins and aggregations: the new packet reuses *all* results if
+  it arrives before the host's first output tuple, nothing afterwards
+  (output starts near the end of the operator's work, so the cliff sits at
+  ``output_start``).
+* **linear** -- table scans and sorts: the new packet reuses results from
+  its arrival onward and re-issues the missed prefix; for a table scan the
+  re-issue *is* the circular scan wrapping around.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class WindowOfOpportunity(enum.Enum):
+    """Sharing window type of a pivot operator."""
+
+    STEP = "step"
+    LINEAR = "linear"
+    NONE = "none"
+
+
+#: Operator stage name -> WoP, as assigned by the paper (Section 2.2/3.3).
+STAGE_WOP: dict[str, WindowOfOpportunity] = {
+    "tablescan": WindowOfOpportunity.LINEAR,
+    "join": WindowOfOpportunity.STEP,
+    "aggregate": WindowOfOpportunity.STEP,
+    "sort": WindowOfOpportunity.LINEAR,
+    "cjoin": WindowOfOpportunity.STEP,
+}
+
+
+def wop_gain(
+    wop: WindowOfOpportunity,
+    arrival_progress: float,
+    output_start: float = 1.0,
+) -> float:
+    """Fraction of the host's work the newcomer saves when it arrives at
+    ``arrival_progress`` in [0, 1] of the host's execution.
+
+    ``output_start`` is the host-progress point where the pivot operator
+    emits its first output tuple (1.0 for blocking operators like a full
+    aggregation; earlier for pipelining joins)."""
+    if not 0.0 <= arrival_progress <= 1.0:
+        raise ValueError("arrival_progress must be in [0, 1]")
+    if wop is WindowOfOpportunity.NONE:
+        return 0.0
+    if wop is WindowOfOpportunity.STEP:
+        return 1.0 if arrival_progress < output_start else 0.0
+    # LINEAR: reuse from arrival to end; re-issue the missed prefix.
+    return 1.0 - arrival_progress

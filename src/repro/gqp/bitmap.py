@@ -1,0 +1,61 @@
+"""Query-slot allocation for tuple bitmaps.
+
+Tuples flowing through the CJOIN pipeline carry a bitmap (a Python int):
+bit ``i`` means "relevant to the query in slot ``i``".  Slots of completed
+queries are *retired* and only reused after the next admission clears their
+stale bits from every filter's hash-table entries (clearing happens while
+the pipeline is paused, so in-flight tuples never see a recycled bit)."""
+
+from __future__ import annotations
+
+
+class SlotAllocator:
+    """Allocates query bitmap slots with deferred reuse."""
+
+    def __init__(self) -> None:
+        self._free: list[int] = []
+        self._retired: list[int] = []
+        self._next = 0
+        self._live = 0
+
+    # ------------------------------------------------------------------
+    def alloc(self) -> int:
+        """Allocate the lowest safely reusable slot."""
+        self._live += 1
+        if self._free:
+            self._free.sort()
+            return self._free.pop(0)
+        slot = self._next
+        self._next += 1
+        return slot
+
+    def retire(self, slot: int) -> None:
+        """Mark a completed query's slot; unusable until ``reclaim``."""
+        if slot < 0 or slot >= self._next:
+            raise ValueError(f"slot {slot} was never allocated")
+        self._live -= 1
+        self._retired.append(slot)
+
+    def reclaim(self) -> list[int]:
+        """Move retired slots to the free list (call with the pipeline
+        paused, after clearing their bits); returns the reclaimed slots."""
+        reclaimed, self._retired = self._retired, []
+        self._free.extend(reclaimed)
+        return reclaimed
+
+    # ------------------------------------------------------------------
+    @property
+    def high_water(self) -> int:
+        """Number of bitmap slots in use (bitmap width in bits)."""
+        return self._next
+
+    @property
+    def live(self) -> int:
+        return self._live
+
+    def retired_mask(self) -> int:
+        """Bitmask of retired-but-not-yet-reclaimed slots."""
+        mask = 0
+        for s in self._retired:
+            mask |= 1 << s
+        return mask

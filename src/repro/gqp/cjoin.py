@@ -1,0 +1,607 @@
+"""The CJOIN pipeline: shared selections + shared hash-joins for star
+queries, evaluated by a single always-on dataflow (see package docstring).
+
+Thread structure (all simulated, all daemons):
+
+* 1 preprocessor -- circular fact scan, admission batching, page tagging;
+* ``filter_workers`` workers -- move fact pages through the filter chain
+  (the paper's *horizontal* configuration; the per-page ``filter_sync_page``
+  charge models their queue synchronization, one of CJOIN's inherent
+  bookkeeping costs);
+* ``distributor_parts`` workers -- route joined tuples to query outputs.
+
+Admission (Section 3.1/3.2) pauses the pipeline: it waits for in-flight
+pages to drain, clears retired bitmap slots, scans the referenced dimension
+tables through the buffer pool (so file-system caching -- or its absence
+under direct I/O -- shows up exactly as in the paper's Figure 13), inserts
+or re-annotates selected dimension tuples in the filter hash tables, and
+records the new query's point of entry on the fact table's circular scan.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.sim.commands import CPU, SLEEP
+from repro.sim.sync import Channel, Condition
+from repro.gqp.bitmap import SlotAllocator
+from repro.storage.page import Batch
+from repro.storage.prefetch import PageSource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.packet import Packet
+    from repro.engine.qpipe import QPipeEngine
+    from repro.query.plan import CJoinNode
+    from repro.storage.table import Table
+
+
+class _Entry:
+    """One dimension tuple resident in a filter's hash table."""
+
+    __slots__ = ("row", "bitmap")
+
+    def __init__(self, row: tuple, bitmap: int):
+        self.row = row
+        self.bitmap = bitmap
+
+
+class Filter:
+    """Shared scan + shared selection + shared hash-join for one dimension
+    (CJOIN groups the three into a 'filter')."""
+
+    __slots__ = ("dim_name", "fact_fk_idx", "dim_key_idx", "weight", "ht", "pass_mask", "referencing")
+
+    def __init__(self, dim_name: str, fact_fk_idx: int, dim_key_idx: int, weight: float):
+        self.dim_name = dim_name
+        self.fact_fk_idx = fact_fk_idx
+        self.dim_key_idx = dim_key_idx
+        self.weight = weight  # dim row weight, for bookkeeping charges
+        self.ht: dict[Any, _Entry] = {}
+        self.pass_mask = 0  # bits of queries that do not reference this dim
+        self.referencing: set[int] = set()  # slots that do
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Filter {self.dim_name} entries={len(self.ht)}>"
+
+
+class _QueryState:
+    """Runtime state of one admitted star query."""
+
+    __slots__ = (
+        "packet",
+        "slot",
+        "pages_left",
+        "outstanding",
+        "no_more_pages",
+        "projector",
+        "fact_pred",
+        "fact_pred_terms",
+        "done",
+        "agg_node",
+        "agg_group_idx",
+        "agg_value_fns",
+        "agg_groups",
+    )
+
+    def __init__(self, packet: "Packet", slot: int, pages_left: int):
+        self.packet = packet
+        self.slot = slot
+        self.pages_left = pages_left  # fact pages until the scan wraps to the entry point
+        self.outstanding = 0  # addressed pages not yet distributed
+        self.no_more_pages = False
+        self.projector: Callable | None = None
+        self.fact_pred: Callable | None = None
+        self.fact_pred_terms = 0
+        self.done = False
+        # DataPath-style shared aggregation (running sums per group & query);
+        # None when the query's aggregation runs query-centric above the GQP.
+        self.agg_node = None
+        self.agg_group_idx: tuple[int, ...] = ()
+        self.agg_value_fns: list[Callable | None] = []
+        self.agg_groups: dict | None = None
+
+
+class _WorkItem:
+    """One tagged fact page moving through the pipeline."""
+
+    __slots__ = ("batch", "mask", "addressed", "filters", "filter_pos", "high_slots", "joined")
+
+    def __init__(
+        self,
+        batch: Batch,
+        mask: int,
+        addressed: list[_QueryState],
+        filters: list[Filter],
+        filter_pos: dict[str, int],
+        high_slots: int,
+    ):
+        self.batch = batch
+        self.mask = mask
+        self.addressed = addressed
+        self.filters = filters
+        self.filter_pos = filter_pos
+        self.high_slots = high_slots
+        self.joined: list[tuple[tuple, int, tuple]] = []
+
+
+class CJoinPipeline:
+    """The always-on GQP for one fact table."""
+
+    def __init__(self, engine: "QPipeEngine", fact_table: "Table"):
+        self.engine = engine
+        self.sim = engine.sim
+        self.cost = engine.cost
+        self.storage = engine.storage
+        self.fact = fact_table
+        cfg = engine.config
+
+        self.filters: dict[str, Filter] = {}  # insertion-ordered chain
+        self.active: dict[int, _QueryState] = {}
+        self.pending: list["Packet"] = []
+        self.slots = SlotAllocator()
+
+        self._page_chan = Channel(self.sim, capacity=4, name=f"cjoin.{fact_table.name}.pages")
+        self._dist_chan = Channel(self.sim, capacity=8, name=f"cjoin.{fact_table.name}.dist")
+        self.inflight = 0
+        self._work = Condition(self.sim, "cjoin.work")
+        self._idle = Condition(self.sim, "cjoin.idle")
+        self._pause_requested = False
+        self._paused = False
+        self._pause_cond = Condition(self.sim, "cjoin.paused")
+        self._resume_cond = Condition(self.sim, "cjoin.resume")
+        self._source: PageSource | None = None
+
+        self._vchans: list[Channel] = []
+        self.sim.spawn(self._preprocessor(), f"cjoin-{fact_table.name}-pre", daemon=True)
+        self.sim.spawn(self._admission_worker(), f"cjoin-{fact_table.name}-adm", daemon=True)
+        if cfg.cjoin_threads == "vertical":
+            self._ensure_vertical_worker(0)
+            self.sim.spawn(
+                self._vertical_worker(0), f"cjoin-{fact_table.name}-vflt0", daemon=True
+            )
+        else:
+            for i in range(cfg.filter_workers):
+                self.sim.spawn(self._filter_worker(), f"cjoin-{fact_table.name}-flt{i}", daemon=True)
+        for i in range(cfg.distributor_parts):
+            self.sim.spawn(self._distributor_part(), f"cjoin-{fact_table.name}-dist{i}", daemon=True)
+
+    # ------------------------------------------------------------------
+    def submit(self, packet: "Packet") -> None:
+        """Queue a CJOIN packet for the next admission batch."""
+        self.pending.append(packet)
+        self._work.notify_all()
+
+    # ------------------------------------------------------------------
+    # Preprocessor
+    # ------------------------------------------------------------------
+    def _preprocessor(self) -> Iterator[Any]:
+        sim = self.sim
+        cost = self.cost
+        while True:
+            if self._pause_requested:
+                # Admission needs the pipeline quiescent: drain in-flight
+                # pages, park, and wait to be resumed.
+                while self.inflight > 0:
+                    yield from self._idle.wait()
+                self._paused = True
+                self._pause_cond.notify_all()
+                while self._pause_requested:
+                    yield from self._resume_cond.wait()
+                self._paused = False
+                continue
+            addressable = [s for s in self.active.values() if not s.no_more_pages]
+            if not addressable:
+                yield from self._work.wait()
+                continue
+            if self._source is None:
+                self._source = PageSource(
+                    sim, self.storage, self.fact, 0, name=f"cjoin.{self.fact.name}"
+                )
+            page = yield from self._source.next()
+            yield cost.preprocess(len(page.rows), page.weight)
+            mask = 0
+            addressed: list[_QueryState] = []
+            for state in addressable:
+                mask |= 1 << state.slot
+                state.outstanding += 1
+                state.pages_left -= 1
+                if state.pages_left == 0:
+                    state.no_more_pages = True  # wrapped to its point of entry
+                addressed.append(state)
+            item = _WorkItem(
+                batch=page.to_batch(),
+                mask=mask,
+                addressed=addressed,
+                filters=list(self.filters.values()),
+                filter_pos={name: i for i, name in enumerate(self.filters)},
+                high_slots=max(self.slots.high_water, 1),
+            )
+            self.inflight += 1
+            yield from self._page_chan.put(item)
+
+    # ------------------------------------------------------------------
+    # Admission (pipeline paused)
+    # ------------------------------------------------------------------
+    def _admission_worker(self) -> Iterator[Any]:
+        """Admit pending packets in batches.
+
+        Following the original CJOIN, the expensive part of admission --
+        scanning the referenced dimension tables and evaluating each new
+        query's selection predicates -- happens *asynchronously* while the
+        pipeline keeps flowing ("parts of the admission phase ... can be
+        done asynchronously while CJOIN is running").  Only the brief filter
+        re-adjustment needs the pipeline paused and drained.  Queries
+        arriving during an admission form the next batch."""
+        sim = self.sim
+        cost = self.cost
+        batched = self.engine.config.gqp_batched_execution
+        while True:
+            if not self.pending:
+                yield from self._work.wait()
+                continue
+            if batched and self.active:
+                # SharedDB-style generations: the next batch starts only
+                # when every query of the current one has completed (its
+                # latency is dominated by the longest-running member).
+                yield from self._work.wait()
+                continue
+            batch, self.pending = self.pending, []
+            t0 = sim.now
+            # ---- phase A (pipeline running): per-query dimension scans ---
+            prepared: list[tuple["Packet", list[tuple[Any, list[tuple]]]]] = []
+            for packet in batch:
+                node, _agg = self._split_node(packet)
+                plans = []
+                for dimspec in node.dims:
+                    selected = yield from self._scan_dim_selected(dimspec)
+                    plans.append((dimspec, selected))
+                prepared.append((packet, plans))
+            # ---- phase B (pipeline paused): re-adjust filters ------------
+            self._pause_requested = True
+            self._work.notify_all()  # wake an idle preprocessor to park
+            while not self._paused:
+                yield from self._pause_cond.wait()
+            yield from self._reclaim_retired_slots()
+            touched: set[str] = set()
+            for packet, plans in prepared:
+                yield from self._apply_admission(packet, plans)
+                touched.update(d.dim_table for d, _ in plans)
+            # The pipeline stall itself (re-adjusting filters, 3.1 (e)).
+            yield SLEEP(cost.admission_pause + cost.admission_pause_per_filter * len(touched))
+            self._pause_requested = False
+            self._resume_cond.notify_all()
+            self._work.notify_all()
+            sim.metrics.add_duration("cjoin_admission", sim.now - t0)
+            sim.metrics.bump("cjoin_admission_batches")
+            sim.metrics.bump("cjoin_queries_admitted", len(batch))
+
+    def _scan_dim_selected(self, dimspec) -> Iterator[Any]:
+        """Phase A: scan one dimension table for one query and return its
+        selected rows.  Every admitted query pays this scan (Section 3.1
+        lists it among the per-query admission costs -- the cost CJOIN-SP
+        avoids for identical packets); the physical I/O is shared through
+        the buffer pool."""
+        cost = self.cost
+        dim = self.storage.table(dimspec.dim_table)
+        pred = dimspec.predicate.compile(dim.schema) if dimspec.predicate is not None else None
+        terms = dimspec.predicate.terms if dimspec.predicate is not None else 0
+        selected: list[tuple] = []
+        for page_index in range(dim.num_pages):
+            page = yield from self.storage.read_page(dim, page_index)
+            rows = page.rows
+            yield cost.scan(len(rows), page.weight)
+            if pred is not None:
+                yield cost.predicate(len(rows), page.weight, max(terms, 1))
+                selected.extend(r for r in rows if pred(r))
+            else:
+                selected.extend(rows)
+        return selected
+
+    def _apply_admission(self, packet: "Packet", plans: list[tuple[Any, list[tuple]]]) -> Iterator[Any]:
+        """Phase B (paused): allocate the query's bitmap slot, extend the
+        filters with its selected dimension tuples, and register its point
+        of entry on the circular fact scan."""
+        cost = self.cost
+        node, agg_node = self._split_node(packet)
+        slot = self.slots.alloc()
+        bit = 1 << slot
+        referenced = {d.dim_table for d, _ in plans}
+        for dimspec, selected in plans:
+            flt = self._ensure_filter(dimspec)
+            key_idx = flt.dim_key_idx
+            ht = flt.ht
+            inserts = 0
+            annotations = 0
+            for r in selected:
+                key = r[key_idx]
+                entry = ht.get(key)
+                if entry is None:
+                    ht[key] = _Entry(r, bit)
+                    inserts += 1
+                else:
+                    entry.bitmap |= bit
+                    annotations += 1
+            if inserts:
+                yield cost.hashing(inserts, flt.weight)
+                yield cost.build(inserts, flt.weight)
+            if annotations:
+                yield CPU(cost.admission_bitmap * annotations * flt.weight, "joins")
+        for name, flt in self.filters.items():
+            if name in referenced:
+                flt.referencing.add(slot)
+            else:
+                flt.pass_mask |= bit
+        state = _QueryState(packet, slot, pages_left=self.fact.num_pages)
+        state.projector = self._make_projector(node)
+        if node.fact_predicate is not None:
+            state.fact_pred = node.fact_predicate.compile(self.fact.schema)
+            state.fact_pred_terms = node.fact_predicate.terms
+        if agg_node is not None:
+            schema = node.schema  # the projected (payload) schema
+            state.agg_node = agg_node
+            state.agg_group_idx = schema.indices(agg_node.group_by)
+            state.agg_value_fns = [
+                a.expr.compile(schema) if a.expr is not None else None
+                for a in agg_node.aggregates
+            ]
+            state.agg_groups = {}
+        self.active[slot] = state
+
+    def _ensure_filter(self, dimspec) -> Filter:
+        flt = self.filters.get(dimspec.dim_table)
+        if flt is None:
+            dim = self.storage.table(dimspec.dim_table)
+            flt = Filter(
+                dim_name=dimspec.dim_table,
+                fact_fk_idx=self.fact.schema.index(dimspec.fact_fk),
+                dim_key_idx=dim.schema.index(dimspec.dim_key),
+                weight=dim.row_weight,
+            )
+            # Every currently active query predates this filter, hence does
+            # not reference it and must pass through freely.
+            for state in self.active.values():
+                flt.pass_mask |= 1 << state.slot
+            self.filters[dimspec.dim_table] = flt
+        return flt
+
+    def _reclaim_retired_slots(self) -> Iterator[Any]:
+        """Clear the bits of completed queries from every filter entry and
+        recycle their slots (done with the pipeline paused)."""
+        cost = self.cost
+        stale = self.slots.retired_mask()
+        if not stale:
+            return
+        keep = ~stale
+        for flt in self.filters.values():
+            entries = len(flt.ht)
+            dead = []
+            for key, entry in flt.ht.items():
+                entry.bitmap &= keep
+                if entry.bitmap == 0:
+                    dead.append(key)
+            for key in dead:
+                del flt.ht[key]
+            flt.pass_mask &= keep
+            flt.referencing -= {s for s in flt.referencing if stale >> s & 1}
+            if entries:
+                yield CPU(cost.admission_bitmap * entries * flt.weight, "joins")
+        # Drop filters no longer referenced by any live query.
+        for name in [n for n, f in self.filters.items() if not f.referencing]:
+            del self.filters[name]
+        self.slots.reclaim()
+
+    # ------------------------------------------------------------------
+    # Filter workers (horizontal configuration)
+    # ------------------------------------------------------------------
+    def _apply_one_filter(self, item: _WorkItem, flt: Filter, current) -> Iterator[Any]:
+        """Probe one filter with the item's surviving tuples (generator:
+        charges the shared-operator costs); returns the survivors."""
+        cost = self.cost
+        w = item.batch.weight
+        n = len(current)
+        if n == 0:
+            return current
+        yield cost.hashing(n, w)
+        yield cost.probe(n, w, shared=True)
+        yield cost.bitmap_and(n, w, item.high_slots)
+        get = flt.ht.get
+        fk = flt.fact_fk_idx
+        pass_mask = flt.pass_mask
+        survivors: list[tuple[tuple, int, tuple]] = []
+        for row, bm, dims in current:
+            entry = get(row[fk])
+            if entry is None:
+                bm &= pass_mask
+                dim_row = None
+            else:
+                bm &= entry.bitmap | pass_mask
+                dim_row = entry.row
+            if bm:
+                survivors.append((row, bm, dims + (dim_row,)))
+        if survivors:
+            # Materializing the joined tuple (attaching the dimension
+            # payload) costs the same as a query-centric join's output
+            # materialization.
+            yield cost.emit_join(len(survivors), w)
+        return survivors
+
+    def _filter_worker(self) -> Iterator[Any]:
+        """Horizontal configuration: each worker carries a page through the
+        whole filter chain."""
+        cost = self.cost
+        while True:
+            item = yield from self._page_chan.get()
+            if item is Channel.CLOSED:  # pragma: no cover - pipeline never closes
+                return
+            yield CPU(cost.filter_sync_page, "locks")
+            current: list[tuple[tuple, int, tuple]] = [
+                (row, item.mask, ()) for row in item.batch.rows
+            ]
+            for flt in item.filters:
+                if not current:
+                    break
+                current = yield from self._apply_one_filter(item, flt, current)
+            item.joined = current
+            yield from self._dist_chan.put(item)
+
+    def _vertical_worker(self, position: int) -> Iterator[Any]:
+        """Vertical configuration (Section 5.2.2): one thread per filter
+        *position*; pages are handed from stage to stage through bounded
+        channels, paying the hand-off synchronization at every stage."""
+        cost = self.cost
+        in_chan = self._page_chan if position == 0 else self._vchans[position]
+        while True:
+            item = yield from in_chan.get()
+            if item is Channel.CLOSED:  # pragma: no cover
+                return
+            yield CPU(cost.filter_sync_page, "locks")
+            if position == 0:
+                item.joined = [(row, item.mask, ()) for row in item.batch.rows]
+            if position < len(item.filters):
+                item.joined = yield from self._apply_one_filter(
+                    item, item.filters[position], item.joined
+                )
+            if position + 1 < len(item.filters):
+                self._ensure_vertical_worker(position + 1)
+                yield from self._vchans[position + 1].put(item)
+            else:
+                yield from self._dist_chan.put(item)
+
+    def _ensure_vertical_worker(self, position: int) -> None:
+        while len(self._vchans) <= position:
+            k = len(self._vchans)
+            self._vchans.append(
+                Channel(self.sim, capacity=4, name=f"cjoin.{self.fact.name}.v{k}")
+            )
+            if k > 0:
+                self.sim.spawn(
+                    self._vertical_worker(k),
+                    f"cjoin-{self.fact.name}-vflt{k}",
+                    daemon=True,
+                )
+
+    # ------------------------------------------------------------------
+    # Distributor parts
+    # ------------------------------------------------------------------
+    def _distributor_part(self) -> Iterator[Any]:
+        cost = self.cost
+        while True:
+            item = yield from self._dist_chan.get()
+            if item is Channel.CLOSED:  # pragma: no cover
+                return
+            w = item.batch.weight
+            joined = item.joined
+            for state in item.addressed:
+                bit = 1 << state.slot
+                selected = [(row, dims) for row, bm, dims in joined if bm & bit]
+                if selected and state.fact_pred is not None:
+                    yield cost.predicate(len(selected), w, max(state.fact_pred_terms, 1))
+                    pred = state.fact_pred
+                    selected = [(row, dims) for row, dims in selected if pred(row)]
+                if selected:
+                    project = state.projector
+                    out = [project(row, dims, item.filter_pos) for row, dims in selected]
+                    yield cost.distribute(len(out), w)
+                    if state.agg_groups is not None:
+                        # Shared aggregation: fold into running sums instead
+                        # of emitting (the packet's step WoP stays open for
+                        # the whole execution -- results are buffered).
+                        yield CPU(
+                            (cost.hash_func + cost.agg_update
+                             + cost.agg_per_function * len(state.agg_node.aggregates))
+                            * len(out) * w,
+                            "aggregation",
+                        )
+                        self._fold_aggregates(state, out, w)
+                    else:
+                        packet = state.packet
+                        if not packet.started_emitting:
+                            packet.mark_started()
+                            if self.engine.cjoin_stage is not None:
+                                self.engine.cjoin_stage.unregister(packet)
+                        yield from packet.exchange.emit(Batch(out, w))
+                state.outstanding -= 1
+                if state.no_more_pages and state.outstanding == 0 and not state.done:
+                    yield from self._complete(state)
+            self.inflight -= 1
+            if self.inflight == 0:
+                self._idle.notify_all()
+
+    def _fold_aggregates(self, state: _QueryState, rows: list[tuple], weight: float) -> None:
+        from repro.engine.stages.aggregate import _Accumulator
+
+        specs = state.agg_node.aggregates
+        nspecs = len(specs)
+        groups = state.agg_groups
+        group_idx = state.agg_group_idx
+        fns = state.agg_value_fns
+        for r in rows:
+            key = tuple(r[i] for i in group_idx)
+            acc = groups.get(key)
+            if acc is None:
+                acc = groups[key] = _Accumulator(nspecs)
+            for i, fn in enumerate(fns):
+                spec = specs[i]
+                if spec.func == "count":
+                    acc.counts[i] += weight
+                    continue
+                v = fn(r)
+                if spec.func in ("sum", "avg"):
+                    acc.sums[i] += v * weight
+                    acc.counts[i] += weight
+                elif spec.func == "min":
+                    acc.mins[i] = v if acc.mins[i] is None else min(acc.mins[i], v)
+                else:
+                    acc.maxs[i] = v if acc.maxs[i] is None else max(acc.maxs[i], v)
+
+    def _complete(self, state: _QueryState) -> Iterator[Any]:
+        state.done = True
+        packet = state.packet
+        if state.agg_groups is not None:
+            from repro.engine.stages.aggregate import _finalize
+
+            specs = state.agg_node.aggregates
+            out_rows = [
+                key + tuple(_finalize(specs[i], acc, i) for i in range(len(specs)))
+                for key, acc in state.agg_groups.items()
+            ]
+            packet.mark_started()
+            if self.engine.cjoin_stage is not None:
+                self.engine.cjoin_stage.unregister(packet)
+            if out_rows:
+                yield from packet.exchange.emit(Batch(out_rows, weight=1.0))
+        packet.exchange.close()
+        packet.finished = True
+        if self.engine.cjoin_stage is not None:
+            self.engine.cjoin_stage.unregister(packet)
+        del self.active[state.slot]
+        self.slots.retire(state.slot)
+        self._work.notify_all()
+
+    # ------------------------------------------------------------------
+    def _split_node(self, packet: "Packet") -> tuple["CJoinNode", Any]:
+        """A pipeline packet carries either a bare CJoinNode or -- with
+        shared aggregation -- an AggregateNode directly above one."""
+        from repro.query.plan import AggregateNode
+
+        node = packet.node
+        if isinstance(node, AggregateNode):
+            return node.child, node
+        return node, None
+
+    def _make_projector(self, node: "CJoinNode") -> Callable:
+        fact_idx = [self.fact.schema.index(c) for c in node.fact_payload]
+        dim_proj: list[tuple[str, list[int]]] = []
+        for d in node.dims:
+            dim_schema = self.storage.table(d.dim_table).schema
+            dim_proj.append((d.dim_table, [dim_schema.index(c) for c in d.payload]))
+
+        def project(fact_row: tuple, dims: tuple, filter_pos: dict[str, int]) -> tuple:
+            out = [fact_row[i] for i in fact_idx]
+            for name, idxs in dim_proj:
+                if idxs:
+                    dim_row = dims[filter_pos[name]]
+                    out.extend(dim_row[i] for i in idxs)
+            return tuple(out)
+
+        return project

@@ -1,0 +1,47 @@
+"""CJOIN as a QPipe stage (paper Section 3.2/3.3).
+
+The stage accepts CJOIN packets (the joins of one star query) and forwards
+them to the per-fact-table :class:`~repro.gqp.cjoin.CJoinPipeline`.  With
+``sp_cjoin`` the stage applies Simultaneous Pipelining to whole CJOIN
+packets with a step WoP: an identical packet attaching before the host's
+first output tuple becomes a satellite and skips the redundant admission,
+bitmap extension and distribution entirely -- the CJOIN-SP configuration.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine.packet import Packet
+from repro.engine.stage import Stage
+from repro.gqp.cjoin import CJoinPipeline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.qpipe import QPipeEngine
+    from repro.query.plan import CJoinNode
+    from repro.query.star import Query
+
+
+class CJoinStage(Stage):
+    """The QPipe stage wrapping per-fact-table CJOIN pipelines."""
+    def __init__(self, engine: "QPipeEngine"):
+        super().__init__(engine, "cjoin")
+        self._pipelines: dict[str, CJoinPipeline] = {}
+
+    def pipeline_for(self, fact_table: str) -> CJoinPipeline:
+        """The (lazily created) pipeline for one fact table."""
+        pipeline = self._pipelines.get(fact_table)
+        if pipeline is None:
+            pipeline = CJoinPipeline(self.engine, self.engine.storage.table(fact_table))
+            self._pipelines[fact_table] = pipeline
+        return pipeline
+
+    def submit_cjoin(self, node: "CJoinNode", query: "Query", agg=None) -> Packet:
+        """Admit a star query's joins (optionally with a DataPath-style
+        shared aggregation folded in: ``agg`` is an AggregateNode whose
+        child is ``node``; the packet then emits finalized groups)."""
+        packet = self.make_packet(agg if agg is not None else node, query)
+        if self.admit(packet):
+            return packet  # satellite: reuses the host CJOIN packet's output
+        self.pipeline_for(node.fact_table).submit(packet)
+        return packet

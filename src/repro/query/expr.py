@@ -1,0 +1,312 @@
+"""Scalar expressions over rows.
+
+Expressions are small immutable ASTs with three capabilities:
+
+* ``compile(schema)`` -- build a fast ``row -> value`` closure (predicates
+  are evaluated millions of times; attribute lookups are hoisted out);
+* ``signature`` -- a canonical, hashable encoding used for common-sub-plan
+  detection (two predicates share iff their signatures are equal);
+* ``terms`` -- the number of primitive comparisons, used by the cost model
+  to charge predicate-evaluation cycles.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.schema import Schema
+
+_CMP_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    "=": operator.eq,
+    "!=": operator.ne,
+    ">=": operator.ge,
+    ">": operator.gt,
+}
+
+_ARITH_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+
+class Expr:
+    """Base class for scalar expressions."""
+
+    __slots__ = ()
+
+    def compile(self, schema: "Schema") -> Callable[[tuple], Any]:
+        raise NotImplementedError
+
+    @property
+    def signature(self) -> tuple:
+        raise NotImplementedError
+
+    @property
+    def terms(self) -> int:
+        """Number of primitive predicate terms (for cost charging)."""
+        return 1
+
+    def columns(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    # Equality/hash by signature: predicates compare structurally.
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Expr) and self.signature == other.signature
+
+    def __hash__(self) -> int:
+        return hash(self.signature)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}{self.signature!r}"
+
+
+class Col(Expr):
+    """A column reference."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def compile(self, schema: "Schema") -> Callable[[tuple], Any]:
+        i = schema.index(self.name)
+        return lambda row: row[i]
+
+    @property
+    def signature(self) -> tuple:
+        return ("col", self.name)
+
+    @property
+    def terms(self) -> int:
+        return 0
+
+    def columns(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+
+class Const(Expr):
+    """A literal constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def compile(self, schema: "Schema") -> Callable[[tuple], Any]:
+        v = self.value
+        return lambda row: v
+
+    @property
+    def signature(self) -> tuple:
+        return ("const", self.value)
+
+    @property
+    def terms(self) -> int:
+        return 0
+
+    def columns(self) -> frozenset[str]:
+        return frozenset()
+
+
+class Cmp(Expr):
+    """Binary comparison ``left <op> right``."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr | str, right: Expr | Any):
+        if op not in _CMP_OPS:
+            raise ValueError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = Col(left) if isinstance(left, str) else left
+        self.right = right if isinstance(right, Expr) else Const(right)
+
+    def compile(self, schema: "Schema") -> Callable[[tuple], bool]:
+        f = _CMP_OPS[self.op]
+        lhs = self.left.compile(schema)
+        rhs = self.right.compile(schema)
+        return lambda row: f(lhs(row), rhs(row))
+
+    @property
+    def signature(self) -> tuple:
+        return ("cmp", self.op, self.left.signature, self.right.signature)
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+
+class Between(Expr):
+    """Inclusive range predicate ``lo <= col <= hi``."""
+
+    __slots__ = ("col", "lo", "hi")
+
+    def __init__(self, col: str, lo: Any, hi: Any):
+        self.col = col
+        self.lo = lo
+        self.hi = hi
+
+    def compile(self, schema: "Schema") -> Callable[[tuple], bool]:
+        i = schema.index(self.col)
+        lo, hi = self.lo, self.hi
+        return lambda row: lo <= row[i] <= hi
+
+    @property
+    def signature(self) -> tuple:
+        return ("between", self.col, self.lo, self.hi)
+
+    @property
+    def terms(self) -> int:
+        return 2
+
+    def columns(self) -> frozenset[str]:
+        return frozenset((self.col,))
+
+
+class InSet(Expr):
+    """Membership predicate ``col IN (v1, v2, ...)`` -- the disjunctions of
+    nation/city options used by the paper's selectivity experiments."""
+
+    __slots__ = ("col", "values")
+
+    def __init__(self, col: str, values: Sequence[Any]):
+        if not values:
+            raise ValueError("InSet needs at least one value")
+        self.col = col
+        self.values = tuple(sorted(set(values), key=repr))
+
+    def compile(self, schema: "Schema") -> Callable[[tuple], bool]:
+        i = schema.index(self.col)
+        vals = frozenset(self.values)
+        return lambda row: row[i] in vals
+
+    @property
+    def signature(self) -> tuple:
+        return ("in", self.col, self.values)
+
+    @property
+    def terms(self) -> int:
+        return 1  # a hashed IN probe costs about one comparison
+
+    def columns(self) -> frozenset[str]:
+        return frozenset((self.col,))
+
+
+class And(Expr):
+    """Conjunction of predicates."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: Expr):
+        if not parts:
+            raise ValueError("And needs at least one part")
+        self.parts = tuple(parts)
+
+    def compile(self, schema: "Schema") -> Callable[[tuple], bool]:
+        fns = [p.compile(schema) for p in self.parts]
+        if len(fns) == 1:
+            return fns[0]
+        return lambda row: all(f(row) for f in fns)
+
+    @property
+    def signature(self) -> tuple:
+        return ("and",) + tuple(p.signature for p in self.parts)
+
+    @property
+    def terms(self) -> int:
+        return sum(p.terms for p in self.parts)
+
+    def columns(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for p in self.parts:
+            out |= p.columns()
+        return out
+
+
+class Or(Expr):
+    """Disjunction of predicates."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: Expr):
+        if not parts:
+            raise ValueError("Or needs at least one part")
+        self.parts = tuple(parts)
+
+    def compile(self, schema: "Schema") -> Callable[[tuple], bool]:
+        fns = [p.compile(schema) for p in self.parts]
+        if len(fns) == 1:
+            return fns[0]
+        return lambda row: any(f(row) for f in fns)
+
+    @property
+    def signature(self) -> tuple:
+        return ("or",) + tuple(p.signature for p in self.parts)
+
+    @property
+    def terms(self) -> int:
+        return sum(p.terms for p in self.parts)
+
+    def columns(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for p in self.parts:
+            out |= p.columns()
+        return out
+
+
+class Not(Expr):
+    """Negation."""
+
+    __slots__ = ("part",)
+
+    def __init__(self, part: Expr):
+        self.part = part
+
+    def compile(self, schema: "Schema") -> Callable[[tuple], bool]:
+        f = self.part.compile(schema)
+        return lambda row: not f(row)
+
+    @property
+    def signature(self) -> tuple:
+        return ("not", self.part.signature)
+
+    @property
+    def terms(self) -> int:
+        return self.part.terms
+
+    def columns(self) -> frozenset[str]:
+        return self.part.columns()
+
+
+class Arith(Expr):
+    """Binary arithmetic, e.g. ``l_extendedprice * l_discount`` in Q1."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr | str, right: Expr | Any):
+        if op not in _ARITH_OPS:
+            raise ValueError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = Col(left) if isinstance(left, str) else left
+        self.right = right if isinstance(right, Expr) else Const(right)
+
+    def compile(self, schema: "Schema") -> Callable[[tuple], Any]:
+        f = _ARITH_OPS[self.op]
+        lhs = self.left.compile(schema)
+        rhs = self.right.compile(schema)
+        return lambda row: f(lhs(row), rhs(row))
+
+    @property
+    def signature(self) -> tuple:
+        return ("arith", self.op, self.left.signature, self.right.signature)
+
+    @property
+    def terms(self) -> int:
+        return 1
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()

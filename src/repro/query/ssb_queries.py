@@ -1,0 +1,202 @@
+"""SSB query templates used in the paper's evaluation.
+
+* :func:`q32` -- SSB Q3.2 (Figure 9), the sensitivity-analysis workhorse:
+  customer |x| lineorder |x| supplier |x| date with nation and year-range
+  predicates, grouped by city/year, ordered by year asc / revenue desc.
+* :func:`q32_selectivity` -- the modified Q3.2 of Section 5.2.2: maximum
+  year range and *disjunctions* of nation options sized to hit a target
+  fact-tuple selectivity.  (We draw the disjunctions over cities -- 250
+  values instead of 25 -- which reaches targets like 30% that integer
+  nation counts cannot; semantics are identical: an IN-disjunction of
+  equality predicates on a dimension attribute.)
+* :func:`q11` -- SSB Q1.1 (date join + fact predicates, single sum).
+* :func:`q21` -- SSB Q2.1 (part/supplier/date joins, group by year/brand).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.data.ssb import ALL_CITIES, SSB_NATIONS, YEARS
+from repro.query.expr import And, Arith, Between, Cmp, Col, InSet
+from repro.query.plan import AggSpec, DimJoinSpec
+from repro.query.star import StarQuerySpec
+
+
+def q32(
+    nation_customer: str,
+    nation_supplier: str,
+    year_low: int,
+    year_high: int,
+) -> StarQuerySpec:
+    """SSB Q3.2 as templated in the paper's Figure 9."""
+    if nation_customer not in SSB_NATIONS or nation_supplier not in SSB_NATIONS:
+        raise ValueError("unknown nation")
+    if year_low > year_high:
+        raise ValueError("empty year range")
+    return StarQuerySpec(
+        fact_table="lineorder",
+        dims=(
+            DimJoinSpec(
+                "supplier",
+                "lo_suppkey",
+                "s_suppkey",
+                Cmp("=", "s_nation", nation_supplier),
+                payload=("s_city",),
+            ),
+            DimJoinSpec(
+                "customer",
+                "lo_custkey",
+                "c_custkey",
+                Cmp("=", "c_nation", nation_customer),
+                payload=("c_city",),
+            ),
+            DimJoinSpec(
+                "date",
+                "lo_orderdate",
+                "d_datekey",
+                Between("d_year", year_low, year_high),
+                payload=("d_year",),
+            ),
+        ),
+        group_by=("c_city", "s_city", "d_year"),
+        aggregates=(AggSpec("sum", Col("lo_revenue"), "revenue"),),
+        order_by=(("d_year", True), ("revenue", False)),
+        label="Q3.2",
+    )
+
+
+def random_q32(rng: random.Random) -> StarQuerySpec:
+    """A random Q3.2 instance (random nations, random year sub-range), as in
+    the paper's low-similarity concurrency experiments; fact selectivity
+    lands in roughly 0.02%-0.16%."""
+    nc = rng.choice(SSB_NATIONS)
+    ns = rng.choice(SSB_NATIONS)
+    y1 = rng.randrange(YEARS[0], YEARS[-1] + 1)
+    y2 = rng.randrange(y1, YEARS[-1] + 1)
+    return q32(nc, ns, y1, y2)
+
+
+def q32_selectivity(target: float, rng: random.Random) -> StarQuerySpec:
+    """Modified Q3.2 with fact-tuple selectivity ~= ``target``.
+
+    Uses the full year range and city IN-disjunctions of size
+    ``ceil(sqrt(target) * 250)`` on customer and supplier (selectivity of
+    the fact table ~= customer fraction x supplier fraction)."""
+    if not 0 < target <= 1:
+        raise ValueError("target selectivity must be in (0, 1]")
+    per_side = math.sqrt(target)
+    k = max(1, round(per_side * len(ALL_CITIES)))
+    cust_cities = rng.sample(ALL_CITIES, k)
+    supp_cities = rng.sample(ALL_CITIES, k)
+    return StarQuerySpec(
+        fact_table="lineorder",
+        dims=(
+            DimJoinSpec(
+                "supplier",
+                "lo_suppkey",
+                "s_suppkey",
+                InSet("s_city", supp_cities),
+                payload=("s_city",),
+            ),
+            DimJoinSpec(
+                "customer",
+                "lo_custkey",
+                "c_custkey",
+                InSet("c_city", cust_cities),
+                payload=("c_city",),
+            ),
+            DimJoinSpec(
+                "date",
+                "lo_orderdate",
+                "d_datekey",
+                Between("d_year", YEARS[0], YEARS[-1]),
+                payload=("d_year",),
+            ),
+        ),
+        group_by=("c_city", "s_city", "d_year"),
+        aggregates=(AggSpec("sum", Col("lo_revenue"), "revenue"),),
+        order_by=(("d_year", True), ("revenue", False)),
+        label=f"Q3.2-sel{target:g}",
+    )
+
+
+def q11(year: int, discount_low: float, discount_high: float, quantity_max: int) -> StarQuerySpec:
+    """SSB Q1.1: revenue gained from a discount band in one year.
+
+    The predicates on ``lo_discount``/``lo_quantity`` are *fact-table*
+    predicates: CJOIN evaluates them on its output tuples (Section 3.2)."""
+    return StarQuerySpec(
+        fact_table="lineorder",
+        dims=(
+            DimJoinSpec(
+                "date",
+                "lo_orderdate",
+                "d_datekey",
+                Cmp("=", "d_year", year),
+                payload=("d_year",),
+            ),
+        ),
+        group_by=(),
+        aggregates=(
+            AggSpec("sum", Arith("*", Col("lo_extendedprice"), Col("lo_discount")), "revenue"),
+        ),
+        fact_predicate=And(
+            Between("lo_discount", discount_low, discount_high),
+            Cmp("<", "lo_quantity", quantity_max),
+        ),
+        label="Q1.1",
+    )
+
+
+def random_q11(rng: random.Random) -> StarQuerySpec:
+    lo = rng.randrange(0, 8)
+    return q11(
+        year=rng.choice(YEARS),
+        discount_low=float(lo),
+        discount_high=float(lo + 2),
+        quantity_max=rng.randrange(20, 36),
+    )
+
+
+def q21(category: str, supplier_region: str) -> StarQuerySpec:
+    """SSB Q2.1: revenue by year and brand for one part category and one
+    supplier region."""
+    return StarQuerySpec(
+        fact_table="lineorder",
+        dims=(
+            DimJoinSpec(
+                "part",
+                "lo_partkey",
+                "p_partkey",
+                Cmp("=", "p_category", category),
+                payload=("p_brand1",),
+            ),
+            DimJoinSpec(
+                "supplier",
+                "lo_suppkey",
+                "s_suppkey",
+                Cmp("=", "s_region", supplier_region),
+                payload=(),
+            ),
+            DimJoinSpec(
+                "date",
+                "lo_orderdate",
+                "d_datekey",
+                None,  # no predicate: Q2.1 groups by all years
+                payload=("d_year",),
+            ),
+        ),
+        group_by=("d_year", "p_brand1"),
+        aggregates=(AggSpec("sum", Col("lo_revenue"), "revenue"),),
+        order_by=(("d_year", True), ("p_brand1", True)),
+        label="Q2.1",
+    )
+
+
+def random_q21(rng: random.Random) -> StarQuerySpec:
+    from repro.data.ssb import SSB_REGIONS
+
+    category = f"MFGR#{rng.randrange(1, 6)}{rng.randrange(1, 6)}"
+    return q21(category, rng.choice(SSB_REGIONS))

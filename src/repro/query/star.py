@@ -1,0 +1,142 @@
+"""Star query specifications.
+
+A :class:`StarQuerySpec` is the engine-independent description of one SSB
+star query: which dimensions it joins (with what selections), the fact-table
+predicate, and the aggregation/sort on top.  It compiles to either
+
+* a **query-centric plan** -- a left-deep chain of hash joins (the plan
+  QPipe runs, Figure 9 of the paper), or
+* a **GQP plan** -- a :class:`~repro.query.plan.CJoinNode` evaluated by the
+  shared CJOIN pipeline, with the same aggregation/sort on top.
+
+Both produce identical results; the integration tests assert it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.query.expr import Expr
+from repro.query.plan import (
+    AggregateNode,
+    AggSpec,
+    CJoinNode,
+    DimJoinSpec,
+    HashJoinNode,
+    PlanNode,
+    ScanNode,
+    SelectNode,
+    SortNode,
+)
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class StarQuerySpec:
+    """One star query over a fact table and some dimensions."""
+
+    fact_table: str
+    dims: tuple[DimJoinSpec, ...]
+    group_by: tuple[str, ...]
+    aggregates: tuple[AggSpec, ...]
+    fact_predicate: Expr | None = None
+    order_by: tuple[tuple[str, bool], ...] = ()
+    label: str = "star"
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise ValueError("a star query joins at least one dimension")
+
+    # ------------------------------------------------------------------
+    @property
+    def fact_payload(self) -> tuple[str, ...]:
+        """Fact columns the post-join operators need: foreign keys are
+        consumed by the joins; group-by and aggregate inputs survive."""
+        needed: list[str] = []
+        dim_cols = {c for d in self.dims for c in d.payload}
+        for g in self.group_by:
+            if g not in dim_cols and g not in needed:
+                needed.append(g)
+        for a in self.aggregates:
+            if a.expr is None:
+                continue
+            for c in sorted(a.expr.columns()):
+                if c not in dim_cols and c not in needed:
+                    needed.append(c)
+        return tuple(needed)
+
+    # ------------------------------------------------------------------
+    def to_query_centric_plan(self, tables: dict[str, Table]) -> PlanNode:
+        """Left-deep hash-join chain: ((F |x| D1) |x| D2) |x| D3 -> agg -> sort.
+
+        The fact predicate (if any) is applied on the fact scan's output;
+        dimension predicates on the build inputs.  Join nodes are labelled
+        hj1..hjN bottom-up for the sharing-opportunity statistics."""
+        fact = tables[self.fact_table]
+        probe: PlanNode = ScanNode(fact)
+        if self.fact_predicate is not None:
+            probe = SelectNode(probe, self.fact_predicate)
+        for depth, d in enumerate(self.dims, start=1):
+            build: PlanNode = ScanNode(tables[d.dim_table])
+            if d.predicate is not None:
+                build = SelectNode(build, d.predicate)
+            probe = HashJoinNode(
+                probe,
+                build,
+                probe_key=d.fact_fk,
+                build_key=d.dim_key,
+                label=f"hj{depth}",
+            )
+        plan: PlanNode = AggregateNode(probe, self.group_by, self.aggregates)
+        if self.order_by:
+            plan = SortNode(plan, self.order_by)
+        return plan
+
+    def to_gqp_plan(self, tables: dict[str, Table]) -> PlanNode:
+        """CJOIN form: shared joins in the global query plan, query-centric
+        aggregation and sort above (CJOIN shares only selections and
+        hash-joins; Section 3.2)."""
+        fact = tables[self.fact_table]
+        cjoin = CJoinNode(
+            fact_table=fact,
+            dims=self.dims,
+            fact_payload=self.fact_payload,
+            fact_predicate=self.fact_predicate,
+            dim_tables=tuple(tables[d.dim_table] for d in self.dims),
+        )
+        plan: PlanNode = AggregateNode(cjoin, self.group_by, self.aggregates)
+        if self.order_by:
+            plan = SortNode(plan, self.order_by)
+        return plan
+
+    # ------------------------------------------------------------------
+    @property
+    def signature(self) -> tuple:
+        return (
+            "star",
+            self.fact_table,
+            tuple(d.signature for d in self.dims),
+            self.group_by,
+            tuple(a.signature for a in self.aggregates),
+            self.fact_predicate.signature if self.fact_predicate else None,
+            self.order_by,
+        )
+
+
+@dataclass
+class Query:
+    """A submitted query instance (spec + runtime bookkeeping)."""
+
+    query_id: int
+    spec: StarQuerySpec | None = None
+    plan: PlanNode | None = None
+    label: str = ""
+    submit_time: float | None = None
+    finish_time: float | None = None
+    results: list = field(default_factory=list)
+
+    @property
+    def response_time(self) -> float:
+        if self.submit_time is None or self.finish_time is None:
+            raise RuntimeError(f"query {self.query_id} has not completed")
+        return self.finish_time - self.submit_time

@@ -1,0 +1,38 @@
+"""TPC-H Q1 (the pricing summary report), used by the paper's Figure 6
+push- vs pull-based SP experiment with *identical* concurrent instances.
+
+Q1 is not a star query: it is a pure scan + predicate + 8-way aggregation
+over ``lineitem``, which makes the table-scan stage (circular scan, linear
+WoP) the only sharing opportunity -- exactly what Figure 6 isolates.
+"""
+
+from __future__ import annotations
+
+from repro.data.tpch import Q1_SHIPDATE_CUTOFF
+from repro.query.expr import Arith, Cmp, Col, Const
+from repro.query.plan import AggregateNode, AggSpec, PlanNode, ScanNode, SelectNode, SortNode
+from repro.storage.table import Table
+
+
+def tpch_q1_plan(lineitem: Table, shipdate_cutoff: int = Q1_SHIPDATE_CUTOFF) -> PlanNode:
+    """The TPC-H Q1 plan over a generated lineitem table."""
+    disc_price = Arith(
+        "*", Col("l_extendedprice"), Arith("-", Const(1.0), Col("l_discount"))
+    )
+    charge = Arith("*", disc_price, Arith("+", Const(1.0), Col("l_tax")))
+    scan = SelectNode(ScanNode(lineitem), Cmp("<=", "l_shipdate", shipdate_cutoff))
+    agg = AggregateNode(
+        scan,
+        group_by=("l_returnflag", "l_linestatus"),
+        aggregates=(
+            AggSpec("sum", Col("l_quantity"), "sum_qty"),
+            AggSpec("sum", Col("l_extendedprice"), "sum_base_price"),
+            AggSpec("sum", disc_price, "sum_disc_price"),
+            AggSpec("sum", charge, "sum_charge"),
+            AggSpec("avg", Col("l_quantity"), "avg_qty"),
+            AggSpec("avg", Col("l_extendedprice"), "avg_price"),
+            AggSpec("avg", Col("l_discount"), "avg_disc"),
+            AggSpec("count", None, "count_order"),
+        ),
+    )
+    return SortNode(agg, (("l_returnflag", True), ("l_linestatus", True)))

@@ -1,0 +1,81 @@
+"""Commands that simulated threads yield to the event loop.
+
+A simulated thread is a Python generator.  Whenever it needs simulated time
+to pass it ``yield``\\ s one of the command objects below and is resumed by
+:class:`~repro.sim.engine.Simulator` once the command completes:
+
+* :class:`CpuCommand` -- burn CPU cycles on the (shared) core pool.
+* :class:`IoCommand` -- read bytes from a disk device.
+* :class:`SleepCommand` -- wait for a fixed simulated duration.
+* :data:`BLOCK` -- park until another thread calls ``sim.unblock(thread)``;
+  the building block for all higher-level synchronization in
+  :mod:`repro.sim.sync`.
+
+The lowercase factory aliases (:func:`CPU`, :func:`IO`, :func:`SLEEP`) are
+what engine code uses, e.g. ``yield CPU(1_000_000, "hashing")``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class CpuCommand:
+    """Consume ``cycles`` CPU cycles, attributed to a breakdown ``category``.
+
+    Categories mirror the paper's Figure 11/12 CPU-time breakdown:
+    ``hashing``, ``joins``, ``aggregation``, ``scans``, ``locks``, ``misc``.
+    """
+
+    cycles: float
+    category: str = "misc"
+
+
+@dataclass(frozen=True, slots=True)
+class IoCommand:
+    """Read ``nbytes`` from disk device ``device`` (a name registered on the
+    simulator).  ``sequential=False`` models random access and is charged a
+    device-specific penalty."""
+
+    device: str
+    nbytes: float
+    sequential: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class SleepCommand:
+    """Suspend the thread for ``delay`` simulated seconds."""
+
+    delay: float
+
+
+class _BlockCommand:
+    """Singleton command: park until explicitly unblocked."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "BLOCK"
+
+
+#: Yield this to park the current thread until ``sim.unblock(thread)``.
+BLOCK = _BlockCommand()
+
+
+def CPU(cycles: float, category: str = "misc") -> CpuCommand:
+    """Factory for :class:`CpuCommand` (reads naturally at yield sites)."""
+    return CpuCommand(cycles, category)
+
+
+def IO(device: str, nbytes: float, sequential: bool = True) -> IoCommand:
+    """Factory for :class:`IoCommand`."""
+    return IoCommand(device, nbytes, sequential)
+
+
+def SLEEP(delay: float) -> SleepCommand:
+    """Factory for :class:`SleepCommand`."""
+    return SleepCommand(delay)
+
+
+Command = CpuCommand | IoCommand | SleepCommand | _BlockCommand

@@ -1,0 +1,280 @@
+"""The discrete-event loop.
+
+:class:`Simulator` owns the clock, the event heap, the GPS CPU pool and the
+disk devices, and drives simulated threads (generators) by interpreting the
+commands they yield.  The loop is fully deterministic: ties on the event heap
+break by insertion order and nothing consults wall-clock time or unseeded
+randomness.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, ClassVar, Generator
+
+from repro.sim.commands import BLOCK, CpuCommand, IoCommand, SleepCommand
+from repro.sim.cpu import CpuPool
+from repro.sim.iodev import IoDevice
+from repro.sim.machine import PAPER_MACHINE, MachineSpec
+from repro.sim.metrics import Metrics
+from repro.sim.task import SimThread, ThreadState
+
+
+class DeadlockError(RuntimeError):
+    """Raised when the event heap drains while non-daemon threads are still
+    blocked -- in this codebase that always means an engine bug (a buffer
+    that was never closed, a lock never released)."""
+
+
+class SimulationError(RuntimeError):
+    """An exception escaped a simulated thread that nobody was joining."""
+
+
+class Simulator:
+    """Event loop for one simulated run.
+
+    Parameters
+    ----------
+    machine:
+        Hardware configuration; defaults to the paper's 24-core testbed.
+    """
+
+    _active: ClassVar["Simulator | None"] = None
+
+    def __init__(self, machine: MachineSpec = PAPER_MACHINE):
+        self.machine = machine
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.cpu = CpuPool(
+            machine.cores,
+            machine.hz,
+            oversub_penalty=machine.oversub_penalty,
+            oversub_exponent=machine.oversub_exponent,
+        )
+        self.devices: dict[str, IoDevice] = {
+            d.name: IoDevice(
+                d.name,
+                d.bandwidth,
+                seek_penalty=d.seek_penalty,
+                min_efficiency=d.min_efficiency,
+                random_multiplier=d.random_multiplier,
+            )
+            for d in machine.disks
+        }
+        self.metrics = Metrics()
+        self.current: SimThread | None = None
+        self.threads: list[SimThread] = []
+        self._daemons: set[SimThread] = set()
+        self._pending_error: tuple[SimThread, BaseException] | None = None
+        Simulator._active = self
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def current_thread(cls) -> SimThread:
+        """The thread currently being stepped (for join registration)."""
+        sim = cls._active
+        if sim is None or sim.current is None:
+            raise RuntimeError("no simulated thread is running")
+        return sim.current
+
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        gen: Generator[Any, Any, Any],
+        name: str,
+        query_id: int | None = None,
+        daemon: bool = False,
+    ) -> SimThread:
+        """Create a thread from generator ``gen`` and schedule its first step
+        at the current simulated time."""
+        thread = SimThread(gen, name, query_id=query_id)
+        thread.state = ThreadState.READY
+        thread.start_time = self.now
+        self.threads.append(thread)
+        if daemon:
+            self._daemons.add(thread)
+        self.call_at(self.now, lambda: self._resume(thread))
+        return thread
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run at simulated time ``when``."""
+        if when < self.now - 1e-12:
+            raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
+        self._seq += 1
+        heapq.heappush(self._heap, (max(when, self.now), self._seq, fn))
+
+    def unblock(self, thread: SimThread, value: Any = None) -> bool:
+        """Wake ``thread`` (previously parked on BLOCK).  Returns False if it
+        was not blocked (e.g. already woken) -- callers that must wake exactly
+        one thread should check."""
+        if thread.state is not ThreadState.BLOCKED:
+            return False
+        thread.state = ThreadState.READY
+        self.call_at(self.now, lambda: self._resume(thread, value))
+        return True
+
+    # ------------------------------------------------------------------
+    def _resume(self, thread: SimThread, value: Any = None) -> None:
+        if thread.state is not ThreadState.READY:
+            # A stale wakeup (e.g. thread already finished); ignore.
+            return
+        prev = self.current
+        self.current = thread
+        try:
+            cmd = thread.gen.send(value)
+        except StopIteration as stop:
+            self._finish(thread, result=stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - must capture engine bugs
+            self._finish(thread, error=exc)
+            return
+        finally:
+            self.current = prev
+        self._dispatch(thread, cmd)
+
+    def _finish(self, thread: SimThread, result: Any = None, error: BaseException | None = None) -> None:
+        thread.result = result
+        thread.error = error
+        thread.state = ThreadState.FAILED if error else ThreadState.DONE
+        thread.finish_time = self.now
+        self._daemons.discard(thread)
+        joiners, thread._joiners = thread._joiners, []
+        for j in joiners:
+            self.unblock(j)
+        if error is not None and not joiners:
+            # Nobody will observe the failure through join(): abort the run.
+            if self._pending_error is None:
+                self._pending_error = (thread, error)
+
+    def _dispatch(self, thread: SimThread, cmd: Any) -> None:
+        if isinstance(cmd, CpuCommand):
+            self.metrics.charge_cpu(cmd.cycles, cmd.category, thread.query_id)
+            if cmd.cycles <= 0:
+                thread.state = ThreadState.READY
+                self.call_at(self.now, lambda: self._resume(thread))
+                return
+            thread.state = ThreadState.ON_CPU
+            self.cpu.add(self.now, thread, cmd.cycles, self._make_waker(thread))
+            self._arm_pool(self.cpu)
+        elif isinstance(cmd, IoCommand):
+            device = self.devices.get(cmd.device)
+            if device is None:
+                raise SimulationError(f"unknown device {cmd.device!r} (thread {thread.name})")
+            if cmd.nbytes <= 0:
+                thread.state = ThreadState.READY
+                self.call_at(self.now, lambda: self._resume(thread))
+                return
+            thread.state = ThreadState.ON_IO
+            device.add(self.now, thread, cmd.nbytes, cmd.sequential, self._make_waker(thread))
+            self._arm_pool(device)
+        elif isinstance(cmd, SleepCommand):
+            thread.state = ThreadState.SLEEPING
+
+            def wake() -> None:
+                if thread.state is ThreadState.SLEEPING:
+                    thread.state = ThreadState.READY
+                    self._resume(thread)
+
+            self.call_at(self.now + max(cmd.delay, 0.0), wake)
+        elif cmd is BLOCK:
+            thread.state = ThreadState.BLOCKED
+        else:
+            raise SimulationError(
+                f"thread {thread.name!r} yielded {cmd!r}; did you forget 'yield from'?"
+            )
+
+    def _make_waker(self, thread: SimThread) -> Callable[[], None]:
+        def wake() -> None:
+            thread.state = ThreadState.READY
+            self._resume(thread)
+
+        return wake
+
+    def _arm_pool(self, pool: CpuPool | IoDevice) -> None:
+        when = pool.next_completion(self.now)
+        if when is None:
+            return
+        version = pool.version
+
+        def fire() -> None:
+            if pool.version != version:
+                return  # membership changed; a fresher event is armed
+            completed = pool.pop_completed(self.now)
+            if not completed:
+                # Float round-off left the top element a hair short; nudge.
+                self.call_at(self.now + 1e-9, fire)
+                return
+            for _thread, on_done in completed:
+                on_done()
+            self._arm_pool(pool)
+
+        self.call_at(when, fire)
+
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> float:
+        """Process events until the heap drains (or simulated time passes
+        ``until``).  Returns the final simulated time.
+
+        Raises
+        ------
+        SimulationError
+            if an exception escaped a thread with no joiner.
+        DeadlockError
+            if non-daemon threads remain blocked with no pending events.
+        """
+        prev_active = Simulator._active
+        Simulator._active = self
+        try:
+            while self._heap:
+                when, _seq, fn = heapq.heappop(self._heap)
+                if until is not None and when > until:
+                    heapq.heappush(self._heap, (when, _seq, fn))
+                    self.now = until
+                    break
+                self.now = when
+                fn()
+                if self._pending_error is not None:
+                    thread, error = self._pending_error
+                    raise SimulationError(
+                        f"unhandled exception in simulated thread {thread.name!r}"
+                    ) from error
+            else:
+                self._check_deadlock()
+            # Settle pool metric integrals at the final time.
+            self.cpu.advance(self.now)
+            for device in self.devices.values():
+                device.advance(self.now)
+            return self.now
+        finally:
+            Simulator._active = prev_active if prev_active is not None else self
+
+    def _check_deadlock(self) -> None:
+        stuck = [
+            t
+            for t in self.threads
+            if t.alive and t not in self._daemons and t.state is ThreadState.BLOCKED
+        ]
+        if stuck:
+            names = ", ".join(t.name for t in stuck[:12])
+            raise DeadlockError(
+                f"{len(stuck)} non-daemon thread(s) blocked with no pending events: {names}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def disk(self) -> IoDevice:
+        """The primary disk device."""
+        return self.devices[self.machine.primary_disk.name]
+
+    def avg_cores_used(self, window: float | None = None) -> float:
+        """Average busy cores over ``window`` (default: the busy period)."""
+        w = window if window is not None else self.cpu.busy_time
+        return self.cpu.avg_cores_used(w) if w else 0.0
+
+    def avg_read_mb_per_s(self, window: float | None = None) -> float:
+        """Average delivered disk read rate in MB/s over ``window``
+        (default: the device's busy period)."""
+        dev = self.disk
+        w = window if window is not None else dev.busy_time
+        return dev.avg_read_rate(w) / (1 << 20) if w else 0.0

@@ -1,0 +1,65 @@
+"""Machine specifications for the simulated server.
+
+The default spec mirrors the paper's testbed (Section 5.1): a Sun Fire X4470
+with four hexa-core Intel Xeon E7530 processors at 1.86 GHz (hyper-threading
+disabled, so 24 hardware contexts), 64 GB of RAM, and two 146 GB 10kRPM SAS
+disks configured as RAID-0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+GB = 1 << 30
+MB = 1 << 20
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """One disk device of the machine."""
+
+    name: str = "disk"
+    bandwidth: float = 210 * MB  # aggregate sequential read, RAID-0 of 2 SAS disks
+    seek_penalty: float = 0.35
+    min_efficiency: float = 0.22
+    random_multiplier: float = 4.0
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Hardware configuration of the simulated server."""
+
+    cores: int = 24
+    hz: float = 1.86e9
+    ram_bytes: float = 64 * GB
+    #: superlinear slowdown when runnable threads exceed cores (context
+    #: switching / cache pollution); multiplier 1/(1 + k*excess^p), see
+    #: CpuPool._rate.
+    oversub_penalty: float = 0.35
+    oversub_exponent: float = 2.0
+    disks: tuple[DiskSpec, ...] = field(default_factory=lambda: (DiskSpec(),))
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.hz <= 0:
+            raise ValueError("hz must be positive")
+        if not self.disks:
+            raise ValueError("machine needs at least one disk")
+        names = [d.name for d in self.disks]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate disk names")
+
+    @property
+    def primary_disk(self) -> DiskSpec:
+        return self.disks[0]
+
+
+#: The paper's testbed.
+PAPER_MACHINE = MachineSpec()
+
+
+def uniprocessor() -> MachineSpec:
+    """A single-core machine -- the original QPipe evaluation hardware, on
+    which the push-based serialization point was invisible (Section 4)."""
+    return MachineSpec(cores=1)

@@ -1,0 +1,60 @@
+"""Metrics collected during a simulation run.
+
+These mirror the measurements reported in the paper's evaluation tables:
+
+* CPU time broken down by category (Hashing / Joins / Aggregation / Scans /
+  Locks / Misc), summed over all cores -- the paper gathered these with
+  Intel VTune; we account them at the cost-model charge sites.
+* per-query CPU time, for debugging and ablations;
+* average cores used and average read rate over the activity period.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+#: Canonical breakdown categories, in the paper's Figure 11 legend order.
+CATEGORIES = ("hashing", "joins", "aggregation", "scans", "locks", "misc")
+
+
+@dataclass
+class Metrics:
+    """Accumulated counters for one simulation run."""
+
+    #: cycles charged per breakdown category
+    cpu_cycles_by_category: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    #: cycles charged per (query_id, category)
+    cpu_cycles_by_query: dict[tuple[int | None, str], float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    #: number of sharing events recorded per label (e.g. "join-depth-1")
+    sharing_events: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: arbitrary named durations (e.g. CJOIN admission time)
+    durations: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    #: arbitrary named counts (e.g. buffer pool hits/misses)
+    counts: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def charge_cpu(self, cycles: float, category: str, query_id: int | None) -> None:
+        """Record ``cycles`` against ``category`` (and the owning query)."""
+        self.cpu_cycles_by_category[category] += cycles
+        self.cpu_cycles_by_query[(query_id, category)] += cycles
+
+    def record_sharing(self, label: str, n: int = 1) -> None:
+        """Count a simultaneous-pipelining attach (host gained a satellite)."""
+        self.sharing_events[label] += n
+
+    def add_duration(self, label: str, seconds: float) -> None:
+        self.durations[label] += seconds
+
+    def bump(self, label: str, n: int = 1) -> None:
+        self.counts[label] += n
+
+    # ------------------------------------------------------------------
+    def cpu_seconds_by_category(self, hz: float) -> dict[str, float]:
+        """Convert the per-category cycle counts to seconds of one core at
+        ``hz`` -- directly comparable to the paper's stacked CPU-time bars."""
+        return {cat: self.cpu_cycles_by_category.get(cat, 0.0) / hz for cat in CATEGORIES}
+
+    def total_cpu_seconds(self, hz: float) -> float:
+        return sum(self.cpu_cycles_by_category.values()) / hz

@@ -1,0 +1,65 @@
+"""Pages and batches.
+
+A :class:`Page` is a fixed slice of a table's rows -- the unit of buffer-pool
+residency and disk I/O.  A :class:`Batch` is the unit of data flow between
+operators (through FIFO buffers and Shared Pages Lists); scan stages turn
+pages into batches, operators transform batches.
+
+Both carry a ``weight``: the number of real rows each generated row
+represents (see the scale substitution in DESIGN.md), so CPU and I/O charges
+reflect paper-scale data volumes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+class Page:
+    """An immutable slice of table rows."""
+
+    __slots__ = ("table_name", "index", "rows", "weight", "real_bytes")
+
+    def __init__(
+        self,
+        table_name: str,
+        index: int,
+        rows: Sequence[tuple],
+        weight: float,
+        real_bytes: float,
+    ):
+        self.table_name = table_name
+        self.index = index
+        self.rows = tuple(rows)
+        self.weight = weight
+        self.real_bytes = real_bytes
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def to_batch(self) -> "Batch":
+        return Batch(list(self.rows), self.weight)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Page {self.table_name}[{self.index}] rows={len(self.rows)}>"
+
+
+class Batch:
+    """A batch of tuples flowing between operators."""
+
+    __slots__ = ("rows", "weight", "meta")
+
+    def __init__(self, rows: list, weight: float = 1.0, meta: Any = None):
+        self.rows = rows
+        self.weight = weight
+        self.meta = meta
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def copy(self) -> "Batch":
+        """A shallow copy (what push-based SP pays cycles to produce)."""
+        return Batch(list(self.rows), self.weight, self.meta)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Batch rows={len(self.rows)} weight={self.weight}>"

@@ -1,0 +1,90 @@
+"""Tables: immutable paged row storage.
+
+A table's rows are generated at ~1/1000 of the paper's real cardinality;
+``row_weight`` records how many real rows each generated row represents so
+that CPU charges (cycles x weight) and I/O charges (bytes x weight) match
+paper-scale volumes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.storage.page import Page
+from repro.storage.schema import Schema
+
+#: Generated tuples per page.  Real pages are 32 KB; this is the *batch*
+#: granularity of the simulation (one generated page stands for the run of
+#: real 32 KB pages holding `TUPLES_PER_PAGE * row_weight` rows).
+TUPLES_PER_PAGE = 64
+
+
+class Table:
+    """An immutable, paged relational table."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        rows: Sequence[tuple],
+        row_weight: float = 1.0,
+        tuples_per_page: int = TUPLES_PER_PAGE,
+    ):
+        if row_weight <= 0:
+            raise ValueError("row_weight must be positive")
+        if tuples_per_page < 1:
+            raise ValueError("tuples_per_page must be >= 1")
+        for row in rows[:1]:
+            if len(row) != len(schema):
+                raise ValueError(
+                    f"row arity {len(row)} does not match schema arity {len(schema)}"
+                )
+        self.name = name
+        self.schema = schema
+        self.row_weight = float(row_weight)
+        self.tuples_per_page = tuples_per_page
+        self.pages: list[Page] = []
+        rows = list(rows)
+        for start in range(0, len(rows), tuples_per_page):
+            chunk = rows[start : start + tuples_per_page]
+            self.pages.append(
+                Page(
+                    table_name=name,
+                    index=len(self.pages),
+                    rows=chunk,
+                    weight=self.row_weight,
+                    real_bytes=len(chunk) * self.row_weight * schema.row_bytes,
+                )
+            )
+        self.num_rows = len(rows)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_pages(self) -> int:
+        return len(self.pages)
+
+    @property
+    def real_rows(self) -> float:
+        """Number of real rows this table represents."""
+        return self.num_rows * self.row_weight
+
+    @property
+    def real_bytes(self) -> float:
+        """Real on-disk size in bytes."""
+        return sum(p.real_bytes for p in self.pages)
+
+    def page(self, index: int) -> Page:
+        return self.pages[index]
+
+    def iter_rows(self) -> Iterator[tuple]:
+        for p in self.pages:
+            yield from p.rows
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Table {self.name} rows={self.num_rows} (x{self.row_weight:g} real)"
+            f" pages={self.num_pages}>"
+        )

@@ -1,0 +1,47 @@
+"""Tests for the best-effort experiment chart helper."""
+
+from repro.bench.charts import chart_for
+from repro.bench.experiments import ExperimentResult
+
+
+class TestChartFor:
+    def test_charts_rt_against_concurrency(self):
+        r = ExperimentResult(
+            "figX", [], {"concurrency": [1, 2, 4], "rt": {"A": [1.0, 2.0, 3.0]}}
+        )
+        chart = chart_for(r)
+        assert chart is not None
+        assert "figX" in chart
+        assert "A=A" in chart
+
+    def test_prefers_known_x_keys(self):
+        r = ExperimentResult(
+            "figY",
+            [],
+            {"selectivities": [0.1, 0.3], "rt": {"A": [1.0, 2.0]}},
+        )
+        chart = chart_for(r)
+        assert "0.1" in chart
+
+    def test_skips_length_mismatched_series(self):
+        r = ExperimentResult(
+            "figZ",
+            [],
+            {"concurrency": [1, 2], "rt": {"ok": [1.0, 2.0], "bad": [1.0]}},
+        )
+        chart = chart_for(r)
+        assert "ok" in chart
+        assert "bad" not in chart
+
+    def test_none_when_rt_not_a_dict(self):
+        r = ExperimentResult("figW", [], {"rt": [1.0, 2.0]})
+        assert chart_for(r) is None
+
+    def test_none_when_no_data(self):
+        assert chart_for(ExperimentResult("empty", [], {})) is None
+        assert chart_for(object()) is None
+
+    def test_falls_back_to_index_axis(self):
+        r = ExperimentResult("figV", [], {"rt": {"A": [1.0, 2.0, 3.0]}})
+        chart = chart_for(r)
+        assert chart is not None  # x = 0..2

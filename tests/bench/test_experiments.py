@@ -1,0 +1,90 @@
+"""Structure tests for the per-figure experiment functions.
+
+The real shape assertions run in ``benchmarks/``; these call each function
+with minimal parameters to pin down result structure, rendering, and basic
+sanity cheaply.
+"""
+
+import pytest
+
+from repro.bench.ablations import (
+    ablate_hybrid_routing,
+    ablate_oversubscription,
+    interarrival_sweep,
+)
+from repro.bench.experiments import (
+    ExperimentResult,
+    fig2_wop,
+    fig6_push_vs_pull,
+    fig10_concurrency,
+    fig11_selectivity,
+    fig13_scale_factor,
+    fig14_similarity,
+    spl_max_size_ablation,
+)
+
+
+class TestResultShape:
+    def test_experiment_result_render_joins_tables(self):
+        r = ExperimentResult("x", ["A", "B"])
+        assert r.render() == "A\n\nB"
+
+    def test_fig2_structure(self):
+        r = fig2_wop(points=5)
+        assert r.experiment == "fig2"
+        assert len(r.data["xs"]) == 5
+        assert "Window of Opportunity" in r.render()
+
+    def test_fig6_minimal(self):
+        r = fig6_push_vs_pull(concurrency=(1, 2), sf=1.0)
+        assert set(r.data["rt"]) == {"NoSP(FIFO)", "CS(FIFO)", "NoSP(SPL)", "CS(SPL)"}
+        assert len(r.data["rt"]["CS(SPL)"]) == 2
+        assert "Figure 6c" in r.render()
+
+    def test_fig10_minimal(self):
+        r = fig10_concurrency(concurrency=(1, 2), resident=("memory",))
+        assert "memory" in r.data
+        rt = r.data["memory"]["rt"]
+        assert set(rt) == {"QPipe", "QPipe-CS", "QPipe-SP", "CJOIN"}
+        # 1 query: everything finishes; CJOIN pays bookkeeping.
+        assert rt["CJOIN"][0] > rt["QPipe"][0]
+
+    def test_fig11_minimal(self):
+        r = fig11_selectivity(selectivities=(0.01,), n_queries=2, sf=1.0)
+        assert len(r.data["rt"]["CJOIN"]) == 1
+        assert r.data["rt"]["CJOIN admission"][0] > 0
+        assert "CPU-time breakdown" in r.render()
+
+    def test_fig13_minimal(self):
+        r = fig13_scale_factor(scale_factors=(1.0,), n_queries=2)
+        assert set(r.data["rt"]) == {
+            "QPipe-SP",
+            "CJOIN",
+            "QPipe-SP (Direct I/O)",
+            "CJOIN (Direct I/O)",
+        }
+        assert all(len(v) == 1 for v in r.data["read_rates"].values())
+
+    def test_fig14_minimal(self):
+        r = fig14_similarity(concurrency=(4,), n_plans=2, sf=1.0)
+        assert r.data["rt"]["CJOIN-SP"][0] > 0
+        cells = r.data["cells"]
+        assert cells["CJOIN-SP"][0].sharing.get("cjoin", 0) == 2  # 4 queries, 2 plans
+
+    def test_spl_ablation_minimal(self):
+        r = spl_max_size_ablation(max_pages=(2, 16), n_queries=2)
+        assert len(r.data["rt"]) == 2
+
+
+class TestAblationStructure:
+    def test_oversub_monotone(self):
+        r = ablate_oversubscription(penalties=(0.0, 1.0), n_queries=48)
+        assert r.data["rt"][0] < r.data["rt"][1]
+
+    def test_interarrival_minimal(self):
+        r = interarrival_sweep(delays=(0.0, 1.0), n_queries=4)
+        assert r.data["join_shares"][0] >= r.data["join_shares"][1]
+
+    def test_hybrid_minimal(self):
+        r = ablate_hybrid_routing(concurrency=(2,))
+        assert set(r.data["rt"]) == {"QPipe-SP", "CJOIN-SP", "Hybrid"}

@@ -1,0 +1,41 @@
+"""Tests for table rendering and the taxonomy."""
+
+from repro.bench.reporting import format_series, format_table
+from repro.bench.taxonomy import TABLE2, render_table2
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table("T", ["a", "long_column"], [[1, 2.5], [333, 4.0]])
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert "long_column" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows aligned
+
+    def test_format_table_note(self):
+        text = format_table("T", ["a"], [[1]], note="hello")
+        assert text.endswith("note: hello")
+
+    def test_float_formats(self):
+        text = format_table("T", ["x"], [[0.0], [1234.5], [12.34], [0.1234]])
+        assert "0" in text
+        assert "1,235" in text or "1,234" in text
+        assert "12.3" in text
+        assert "0.123" in text
+
+    def test_format_series(self):
+        text = format_series("S", "n", [1, 2], {"a": [10.0, 20.0], "b": [1.0, 2.0]})
+        lines = text.splitlines()
+        assert lines[1].split("|")[0].strip() == "n"
+        assert "20.0" in text
+
+
+class TestTaxonomy:
+    def test_five_systems(self):
+        assert len(TABLE2) == 5
+
+    def test_render_contains_all_systems(self):
+        text = render_table2()
+        for t in TABLE2:
+            assert t.system in text

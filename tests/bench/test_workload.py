@@ -1,0 +1,73 @@
+"""Tests for workload generators."""
+
+import pytest
+
+from repro.bench.workload import (
+    QueryJob,
+    mix_spec_factory,
+    q32_limited_plans_workload,
+    q32_random_workload,
+    q32_selectivity_workload,
+    ssb_mix_workload,
+    tpch_q1_workload,
+)
+from repro.data import generate_tpch
+
+
+class TestQueryJob:
+    def test_requires_exactly_one_payload(self):
+        from repro.data import generate_ssb
+        from repro.query.ssb_queries import q32
+
+        with pytest.raises(ValueError):
+            QueryJob()
+        spec = q32("CHINA", "FRANCE", 1993, 1995)
+        plan = spec.to_query_centric_plan(generate_ssb(0.5, seed=21).tables)
+        with pytest.raises(ValueError):
+            QueryJob(spec=spec, plan=plan)
+
+
+class TestGenerators:
+    def test_random_workload_deterministic(self):
+        a = q32_random_workload(10, seed=3)
+        b = q32_random_workload(10, seed=3)
+        assert [j.spec.signature for j in a] == [j.spec.signature for j in b]
+        c = q32_random_workload(10, seed=4)
+        assert [j.spec.signature for j in a] != [j.spec.signature for j in c]
+
+    def test_limited_plans_distinct_pool(self):
+        jobs = q32_limited_plans_workload(64, 8, seed=5)
+        assert len(jobs) == 64
+        sigs = {j.spec.signature for j in jobs}
+        assert len(sigs) == 8
+        # Round-robin: every plan appears 8 times.
+        from collections import Counter
+
+        counts = Counter(j.spec.signature for j in jobs)
+        assert set(counts.values()) == {8}
+
+    def test_limited_plans_validation(self):
+        with pytest.raises(ValueError):
+            q32_limited_plans_workload(8, 0)
+
+    def test_selectivity_workload_labels(self):
+        jobs = q32_selectivity_workload(4, 0.10, seed=2)
+        assert len(jobs) == 4
+        assert all("sel" in j.spec.label for j in jobs)
+
+    def test_tpch_workload_identical_plans(self):
+        ds = generate_tpch(0.5, seed=2)
+        jobs = tpch_q1_workload(5, ds)
+        assert len({id(j.plan) for j in jobs}) == 1  # literally the same plan
+
+    def test_mix_round_robin(self):
+        jobs = ssb_mix_workload(9, seed=1)
+        labels = [j.spec.label for j in jobs]
+        assert labels[0::3] == ["Q1.1"] * 3
+        assert labels[1::3] == ["Q2.1"] * 3
+        assert labels[2::3] == ["Q3.2"] * 3
+
+    def test_mix_spec_factory_deterministic_streams(self):
+        f = mix_spec_factory(seed=9)
+        assert f(0, 0).signature == f(0, 0).signature
+        assert f(0, 0).signature != f(0, 1).signature

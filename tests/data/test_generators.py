@@ -1,0 +1,123 @@
+"""Tests for the SSB and TPC-H dataset generators."""
+
+import pytest
+
+from repro.data.ssb import (
+    ALL_CITIES,
+    CITIES_PER_NATION,
+    SSB_NATIONS,
+    SSB_REGIONS,
+    generate_ssb,
+    nation_cities,
+    nation_region,
+)
+from repro.data.tpch import generate_tpch
+
+
+class TestSsbStructure:
+    def test_nation_region_structure(self):
+        assert len(SSB_NATIONS) == 25
+        assert len(SSB_REGIONS) == 5
+        assert nation_region("FRANCE") == "EUROPE"
+        assert nation_region("PERU") == "AMERICA"
+
+    def test_cities(self):
+        cities = nation_cities("CHINA")
+        assert len(cities) == CITIES_PER_NATION
+        assert len(set(cities)) == CITIES_PER_NATION
+        assert len(ALL_CITIES) == 250
+        assert len(set(ALL_CITIES)) == 250
+
+
+class TestSsbGeneration:
+    def test_sf1_cardinalities_and_weights(self):
+        ds = generate_ssb(1.0, seed=7)
+        assert ds.lineorder.num_rows == 6000
+        assert ds.lineorder.real_rows == pytest.approx(6_000_000)
+        assert ds.customer.num_rows == 600
+        assert ds.customer.real_rows == pytest.approx(30_000)
+        assert ds.supplier.num_rows == 200
+        assert ds.supplier.real_rows == pytest.approx(2_000)
+        assert ds.date.num_rows == 2555
+
+    def test_large_sf_is_capped_with_weight(self):
+        ds = generate_ssb(100.0, seed=7)
+        assert ds.lineorder.num_rows == 60_000
+        assert ds.lineorder.real_rows == pytest.approx(600_000_000)
+        assert ds.customer.num_rows == 3_000
+        assert ds.customer.real_rows == pytest.approx(3_000_000)
+
+    def test_sf30_total_bytes_near_paper(self):
+        """Paper: 'scanning all tables reads 21GB of data' at SF=30."""
+        ds = generate_ssb(30.0, seed=7)
+        gb = ds.real_bytes / (1 << 30)
+        assert 15 < gb < 27
+
+    def test_foreign_keys_resolve(self):
+        ds = generate_ssb(1.0, seed=7)
+        custkeys = {r[0] for r in ds.customer.iter_rows()}
+        suppkeys = {r[0] for r in ds.supplier.iter_rows()}
+        datekeys = {r[0] for r in ds.date.iter_rows()}
+        sch = ds.lineorder.schema
+        ic, isu, idt = sch.index("lo_custkey"), sch.index("lo_suppkey"), sch.index("lo_orderdate")
+        for row in ds.lineorder.iter_rows():
+            assert row[ic] in custkeys
+            assert row[isu] in suppkeys
+            assert row[idt] in datekeys
+
+    def test_nation_selectivity_roughly_uniform(self):
+        ds = generate_ssb(1.0, seed=7)
+        inat = ds.customer.schema.index("c_nation")
+        counts = {}
+        for row in ds.customer.iter_rows():
+            counts[row[inat]] = counts.get(row[inat], 0) + 1
+        # 600 customers over 25 nations: expect ~24 each; allow wide slack.
+        assert len(counts) >= 20
+        assert max(counts.values()) < 60
+
+    def test_determinism_and_memoization(self):
+        a = generate_ssb(1.0, seed=7)
+        b = generate_ssb(1.0, seed=7)
+        assert a is b  # lru_cache
+        c = generate_ssb(1.0, seed=8)
+        assert list(a.lineorder.iter_rows())[:5] != list(c.lineorder.iter_rows())[:5]
+
+    def test_invalid_sf(self):
+        with pytest.raises(ValueError):
+            generate_ssb(0)
+
+    def test_revenue_consistent_with_price_and_discount(self):
+        ds = generate_ssb(1.0, seed=7)
+        sch = ds.lineorder.schema
+        ip, idis, irev = (
+            sch.index("lo_extendedprice"),
+            sch.index("lo_discount"),
+            sch.index("lo_revenue"),
+        )
+        for row in list(ds.lineorder.iter_rows())[:100]:
+            assert row[irev] == pytest.approx(row[ip] * (100 - row[idis]) / 100)
+
+
+class TestTpch:
+    def test_cardinality_and_weight(self):
+        ds = generate_tpch(1.0, seed=7)
+        assert ds.lineitem.num_rows == 6000
+        assert ds.lineitem.real_rows == pytest.approx(6_000_000)
+
+    def test_q1_predicate_selectivity_high(self):
+        """Q1 keeps ~97-98% of lineitem (shipdate <= 1998-09-02)."""
+        from repro.data.tpch import Q1_SHIPDATE_CUTOFF
+
+        ds = generate_tpch(1.0, seed=7)
+        i = ds.lineitem.schema.index("l_shipdate")
+        frac = sum(1 for r in ds.lineitem.iter_rows() if r[i] <= Q1_SHIPDATE_CUTOFF) / len(
+            ds.lineitem
+        )
+        assert 0.9 < frac < 1.0
+
+    def test_flags_domain(self):
+        ds = generate_tpch(1.0, seed=7)
+        sch = ds.lineitem.schema
+        irf, ils = sch.index("l_returnflag"), sch.index("l_linestatus")
+        assert {r[irf] for r in ds.lineitem.iter_rows()} <= {"A", "N", "R"}
+        assert {r[ils] for r in ds.lineitem.iter_rows()} <= {"F", "O"}

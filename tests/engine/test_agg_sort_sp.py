@@ -1,0 +1,110 @@
+"""SP for the aggregation and sort stages.
+
+The paper keeps these off in every experiment ("to isolate the benefits of
+SP for joins"), but the engine supports them; these tests pin down that
+enabling them never changes results and that sharing actually happens.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines import evaluate_plan
+from repro.data import generate_ssb, generate_tpch
+from repro.engine import QPIPE_SP, QPipeEngine
+from repro.query.ssb_queries import q32
+from repro.query.tpch_queries import tpch_q1_plan
+from repro.sim import Simulator
+from repro.sim.costmodel import DEFAULT_COST_MODEL
+from repro.sim.machine import MachineSpec
+from repro.storage import StorageConfig, StorageManager
+
+FULL_SP = dataclasses.replace(QPIPE_SP, name="QPipe-SP+", sp_agg=True, sp_sort=True)
+
+
+@pytest.fixture(scope="module")
+def ssb():
+    return generate_ssb(0.5, seed=91)
+
+
+def norm(rows):
+    return sorted(
+        tuple(round(v, 6) if isinstance(v, float) else v for v in row) for row in rows
+    )
+
+
+def make_engine(tables, config):
+    sim = Simulator(MachineSpec())
+    storage = StorageManager(sim, DEFAULT_COST_MODEL, tables, StorageConfig(resident="memory"))
+    return sim, QPipeEngine(sim, storage, config)
+
+
+class TestAggSortSharing:
+    def test_identical_queries_share_at_top_and_match_oracle(self, ssb):
+        spec = q32("CHINA", "FRANCE", 1993, 1996)
+        oracle = norm(evaluate_plan(spec.to_query_centric_plan(ssb.tables)))
+        sim, eng = make_engine(ssb.tables, FULL_SP)
+        handles = [eng.submit(spec) for _ in range(5)]
+        sim.run()
+        for h in handles:
+            assert norm(h.results) == oracle
+        share = eng.sharing_summary()
+        # With sort SP on, identical plans now share at the very top.
+        assert share.get("sort", 0) == 4
+        # Deeper operators were cancelled along with the satellites.
+        assert "join:hj3" not in share
+
+    def test_agg_sharing_when_sorts_differ(self, ssb):
+        """Same aggregation, different sort direction: share at aggregate."""
+        from repro.query.plan import SortNode
+
+        spec = q32("CHINA", "FRANCE", 1993, 1996)
+        base = spec.to_query_centric_plan(ssb.tables)
+        assert isinstance(base, SortNode)
+        flipped = SortNode(base.child, (("d_year", False),))
+        sim, eng = make_engine(ssb.tables, FULL_SP)
+        h1 = eng.submit_plan(base)
+        h2 = eng.submit_plan(flipped)
+        sim.run()
+        share = eng.sharing_summary()
+        assert share.get("aggregate", 0) == 1
+        assert norm(h1.results) == norm(h2.results)
+
+    def test_tpch_q1_agg_sharing_saves_cpu(self):
+        ds = generate_tpch(0.5, seed=4)
+        plan = tpch_q1_plan(ds.lineitem)
+        oracle = norm(evaluate_plan(plan))
+
+        def run(config, n):
+            sim, eng = make_engine(ds.tables, config)
+            hs = [eng.submit_plan(plan) for _ in range(n)]
+            sim.run()
+            for h in hs:
+                assert norm(h.results) == oracle
+            return sum(sim.metrics.cpu_cycles_by_category.values())
+
+        with_sp = run(FULL_SP, 6)
+        without = run(QPIPE_SP, 6)
+        # Q1 is scan+agg: sharing the aggregation eliminates most work.
+        assert with_sp < 0.5 * without
+
+    def test_late_arrival_after_emit_does_not_attach(self, ssb):
+        """Step-window safety: a query arriving after the host sort emitted
+        must recompute, not receive empty results."""
+        spec = q32("CHINA", "FRANCE", 1993, 1996)
+        oracle = norm(evaluate_plan(spec.to_query_centric_plan(ssb.tables)))
+        sim, eng = make_engine(ssb.tables, FULL_SP)
+        h1 = eng.submit(spec)
+        holder = {}
+
+        def late():
+            from repro.sim.commands import SLEEP
+
+            yield from h1.wait()  # host completely done
+            yield SLEEP(0.1)
+            holder["h"] = eng.submit(spec)
+
+        sim.spawn(late(), "late")
+        sim.run()
+        assert norm(holder["h"].results) == oracle
+        assert len(holder["h"].results) > 0

@@ -1,0 +1,168 @@
+"""Property-based cross-engine equivalence.
+
+Hypothesis generates small random star schemas (fact + dimensions with
+random contents) and random star queries over them; every engine shape --
+query-centric without sharing, with SP, the CJOIN GQP, and the Volcano
+baseline -- must produce the reference evaluator's exact result multiset.
+
+This is the paper's implicit invariant (sharing never changes answers)
+exercised far from the SSB happy path: skewed keys, dangling foreign keys,
+empty selections, single-row dimensions.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import VolcanoEngine, evaluate_plan
+from repro.engine import CJOIN_SP, QPIPE, QPIPE_SP, QPipeEngine
+from repro.query.expr import Between, Col
+from repro.query.plan import AggSpec, DimJoinSpec
+from repro.query.star import StarQuerySpec
+from repro.sim import Simulator
+from repro.sim.costmodel import DEFAULT_COST_MODEL
+from repro.sim.machine import MachineSpec
+from repro.storage import StorageConfig, StorageManager
+from repro.storage.schema import Column, Schema
+from repro.storage.table import Table
+
+
+def norm(rows):
+    return sorted(
+        tuple(round(v, 6) if isinstance(v, float) else v for v in row) for row in rows
+    )
+
+
+# ---------------------------------------------------------------------------
+# Schema/workload generation
+# ---------------------------------------------------------------------------
+
+def dim_schema(i: int) -> Schema:
+    """Per-dimension column names (joins concatenate schemas, so names must
+    be unique across the star -- SSB guarantees this with its prefixes)."""
+    return Schema(
+        [Column(f"d{i}_key"), Column(f"d{i}_attr"), Column(f"d{i}_val")], row_bytes=24.0
+    )
+
+
+@st.composite
+def star_case(draw):
+    """A random (tables, spec) pair."""
+    n_dims = draw(st.integers(1, 3))
+    dims = {}
+    dim_sizes = []
+    for i in range(n_dims):
+        size = draw(st.integers(1, 25))
+        rows = [
+            (k, draw(st.integers(0, 9)), draw(st.integers(0, 100)))
+            for k in range(1, size + 1)
+        ]
+        dims[f"dim{i}"] = Table(
+            f"dim{i}", dim_schema(i), rows, row_weight=draw(st.sampled_from([1.0, 10.0]))
+        )
+        dim_sizes.append(size)
+
+    fact_cols = [Column("f_key")]
+    fact_cols += [Column(f"fk{i}") for i in range(n_dims)]
+    fact_cols += [Column("f_group"), Column("f_val", "float")]
+    fact_schema = Schema(fact_cols, row_bytes=40.0)
+    n_fact = draw(st.integers(1, 120))
+    fact_rows = []
+    for k in range(n_fact):
+        row = [k]
+        for i in range(n_dims):
+            # Allow dangling keys (no matching dimension row).
+            row.append(draw(st.integers(0, dim_sizes[i] + 2)))
+        row.append(draw(st.integers(0, 3)))
+        row.append(float(draw(st.integers(0, 1000))))
+        fact_rows.append(tuple(row))
+    fact = Table("fact", fact_schema, fact_rows, row_weight=draw(st.sampled_from([1.0, 100.0])))
+
+    dim_specs = []
+    for i in range(n_dims):
+        lo = draw(st.integers(0, 9))
+        hi = draw(st.integers(lo, 9))
+        dim_specs.append(
+            DimJoinSpec(
+                f"dim{i}",
+                f"fk{i}",
+                f"d{i}_key",
+                Between(f"d{i}_attr", lo, hi),
+                payload=(f"d{i}_val",) if draw(st.booleans()) else (),
+            )
+        )
+    group_by = ("f_group",) if draw(st.booleans()) else ()
+    spec = StarQuerySpec(
+        fact_table="fact",
+        dims=tuple(dim_specs),
+        group_by=group_by,
+        aggregates=(
+            AggSpec("sum", Col("f_val"), "total"),
+            AggSpec("count", None, "n"),
+        ),
+        label="prop",
+    )
+    tables = {"fact": fact, **dims}
+    return tables, spec
+
+
+def run_qpipe(tables, spec, config):
+    sim = Simulator(MachineSpec(cores=8))
+    storage = StorageManager(sim, DEFAULT_COST_MODEL, tables, StorageConfig(resident="memory"))
+    eng = QPipeEngine(sim, storage, config)
+    handles = [eng.submit(spec) for _ in range(2)]  # two, to exercise sharing
+    sim.run()
+    return [norm(h.results) for h in handles]
+
+
+class TestEquivalence:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(case=star_case())
+    def test_all_engines_match_oracle(self, case):
+        tables, spec = case
+        oracle = norm(evaluate_plan(spec.to_query_centric_plan(tables)))
+        # GQP plan through the oracle too (independent code path).
+        assert norm(evaluate_plan(spec.to_gqp_plan(tables))) == oracle
+
+        for config in (QPIPE, QPIPE_SP, CJOIN_SP):
+            for result in run_qpipe(tables, spec, config):
+                assert result == oracle, config.name
+
+        sim = Simulator(MachineSpec(cores=8))
+        storage = StorageManager(sim, DEFAULT_COST_MODEL, tables, StorageConfig(resident="memory"))
+        pg = VolcanoEngine(sim, storage)
+        h = pg.submit(spec)
+        sim.run()
+        assert norm(h.results) == oracle
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(case=star_case(), delay=st.sampled_from([0.0, 0.01, 0.5]))
+    def test_staggered_arrivals_preserve_results(self, case, delay):
+        """Arrival timing (and hence which WoPs are open) must never change
+        answers."""
+        tables, spec = case
+        oracle = norm(evaluate_plan(spec.to_query_centric_plan(tables)))
+        sim = Simulator(MachineSpec(cores=8))
+        storage = StorageManager(sim, DEFAULT_COST_MODEL, tables, StorageConfig(resident="memory"))
+        eng = QPipeEngine(sim, storage, CJOIN_SP)
+        handles = []
+
+        def submitter():
+            from repro.sim.commands import SLEEP
+
+            for _ in range(3):
+                handles.append(eng.submit(spec))
+                yield SLEEP(delay)
+
+        sim.spawn(submitter(), "sub")
+        sim.run()
+        for h in handles:
+            assert norm(h.results) == oracle

@@ -1,0 +1,169 @@
+"""Tests for plan nodes, star specs and query templates."""
+
+import random
+
+import pytest
+
+from repro.data.ssb import generate_ssb
+from repro.query.expr import Cmp, Col
+from repro.query.plan import (
+    AggregateNode,
+    AggSpec,
+    CJoinNode,
+    HashJoinNode,
+    ScanNode,
+    SelectNode,
+    SortNode,
+)
+from repro.query.ssb_queries import q11, q21, q32, q32_selectivity, random_q32
+from repro.query.star import StarQuerySpec
+from repro.query.tpch_queries import tpch_q1_plan
+
+
+@pytest.fixture(scope="module")
+def ssb():
+    return generate_ssb(1.0, seed=11)
+
+
+class TestPlanNodes:
+    def test_scan_schema_and_signature(self, ssb):
+        n = ScanNode(ssb.customer)
+        assert n.schema is ssb.customer.schema
+        assert n.signature == ("scan", "customer")
+
+    def test_select_passthrough_schema(self, ssb):
+        n = SelectNode(ScanNode(ssb.customer), Cmp("=", "c_nation", "FRANCE"))
+        assert n.schema is ssb.customer.schema
+        assert n.signature[0] == "select"
+
+    def test_join_schema_concat(self, ssb):
+        n = HashJoinNode(ScanNode(ssb.lineorder), ScanNode(ssb.customer), "lo_custkey", "c_custkey")
+        assert "lo_revenue" in n.schema
+        assert "c_city" in n.schema
+
+    def test_aggregate_schema(self, ssb):
+        n = AggregateNode(
+            ScanNode(ssb.lineorder), ("lo_custkey",), (AggSpec("sum", Col("lo_revenue"), "rev"),)
+        )
+        assert n.schema.names == ("lo_custkey", "rev")
+
+    def test_aggspec_validation(self):
+        with pytest.raises(ValueError):
+            AggSpec("median", Col("x"), "m")
+        with pytest.raises(ValueError):
+            AggSpec("sum", None, "s")
+        AggSpec("count", None, "c")  # count(*) ok
+
+    def test_sort_requires_keys(self, ssb):
+        with pytest.raises(ValueError):
+            SortNode(ScanNode(ssb.customer), ())
+
+    def test_signature_includes_subtree(self, ssb):
+        a = HashJoinNode(
+            SelectNode(ScanNode(ssb.lineorder), Cmp(">", "lo_quantity", 10)),
+            ScanNode(ssb.customer),
+            "lo_custkey",
+            "c_custkey",
+        )
+        b = HashJoinNode(
+            SelectNode(ScanNode(ssb.lineorder), Cmp(">", "lo_quantity", 11)),
+            ScanNode(ssb.customer),
+            "lo_custkey",
+            "c_custkey",
+        )
+        assert a.signature != b.signature
+
+    def test_signature_cached(self, ssb):
+        n = ScanNode(ssb.customer)
+        assert n.signature is n.signature
+
+
+class TestStarSpec:
+    def test_q32_query_centric_shape(self, ssb):
+        plan = q32("CHINA", "FRANCE", 1993, 1995).to_query_centric_plan(ssb.tables)
+        assert isinstance(plan, SortNode)
+        agg = plan.child
+        assert isinstance(agg, AggregateNode)
+        j3 = agg.child
+        assert isinstance(j3, HashJoinNode) and j3.label == "hj3"
+        j2 = j3.probe
+        assert isinstance(j2, HashJoinNode) and j2.label == "hj2"
+        j1 = j2.probe
+        assert isinstance(j1, HashJoinNode) and j1.label == "hj1"
+        assert isinstance(j1.probe, ScanNode)
+
+    def test_q32_gqp_shape(self, ssb):
+        plan = q32("CHINA", "FRANCE", 1993, 1995).to_gqp_plan(ssb.tables)
+        agg = plan.child
+        cj = agg.child
+        assert isinstance(cj, CJoinNode)
+        assert cj.fact_table == "lineorder"
+        assert len(cj.dims) == 3
+        assert "c_city" in cj.schema and "lo_revenue" in cj.schema
+
+    def test_fact_payload_excludes_dim_columns(self, ssb):
+        spec = q32("CHINA", "FRANCE", 1993, 1995)
+        assert spec.fact_payload == ("lo_revenue",)
+
+    def test_identical_templates_share_signature(self):
+        assert q32("CHINA", "FRANCE", 1993, 1995).signature == q32(
+            "CHINA", "FRANCE", 1993, 1995
+        ).signature
+        assert q32("CHINA", "FRANCE", 1993, 1995).signature != q32(
+            "CHINA", "FRANCE", 1993, 1996
+        ).signature
+
+    def test_q32_validation(self):
+        with pytest.raises(ValueError):
+            q32("ATLANTIS", "FRANCE", 1993, 1995)
+        with pytest.raises(ValueError):
+            q32("CHINA", "FRANCE", 1995, 1993)
+
+    def test_star_requires_dims(self):
+        with pytest.raises(ValueError):
+            StarQuerySpec("lineorder", (), (), (AggSpec("count", None, "c"),))
+
+
+class TestTemplates:
+    def test_q11_has_fact_predicate(self):
+        spec = q11(1993, 1.0, 3.0, 25)
+        assert spec.fact_predicate is not None
+        assert len(spec.dims) == 1
+        assert spec.group_by == ()
+
+    def test_q21_three_dims(self):
+        spec = q21("MFGR#12", "AMERICA")
+        assert [d.dim_table for d in spec.dims] == ["part", "supplier", "date"]
+        assert spec.dims[2].predicate is None
+
+    def test_random_q32_deterministic(self):
+        assert random_q32(random.Random(3)).signature == random_q32(random.Random(3)).signature
+
+    def test_selectivity_targeting(self, ssb):
+        """Realized fact selectivity should be within ~2x of target."""
+        rng = random.Random(5)
+        spec = q32_selectivity(0.10, rng)
+        csch, ssch = ssb.customer.schema, ssb.supplier.schema
+        cpred = spec.dims[1].predicate.compile(csch)
+        spred = spec.dims[0].predicate.compile(ssch)
+        cfrac = sum(1 for r in ssb.customer.iter_rows() if cpred(r)) / len(ssb.customer)
+        sfrac = sum(1 for r in ssb.supplier.iter_rows() if spred(r)) / len(ssb.supplier)
+        realized = cfrac * sfrac
+        assert 0.05 < realized < 0.2
+
+    def test_selectivity_validation(self):
+        with pytest.raises(ValueError):
+            q32_selectivity(0.0, random.Random(1))
+        with pytest.raises(ValueError):
+            q32_selectivity(1.5, random.Random(1))
+
+    def test_tpch_q1_plan_shape(self):
+        from repro.data.tpch import generate_tpch
+
+        ds = generate_tpch(1.0, seed=3)
+        plan = tpch_q1_plan(ds.lineitem)
+        assert isinstance(plan, SortNode)
+        agg = plan.child
+        assert isinstance(agg, AggregateNode)
+        assert len(agg.aggregates) == 8
+        assert isinstance(agg.child, SelectNode)

@@ -1,0 +1,106 @@
+"""Tests for the calibrated cost model."""
+
+import math
+
+import pytest
+
+from repro.sim.commands import CpuCommand
+from repro.sim.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.sim.metrics import CATEGORIES
+
+
+class TestBuilders:
+    def setup_method(self):
+        self.cm = CostModel()
+
+    def test_scan_scales_with_count_and_weight(self):
+        a = self.cm.scan(10, 1.0)
+        b = self.cm.scan(10, 100.0)
+        assert isinstance(a, CpuCommand)
+        assert a.category == "scans"
+        assert b.cycles == pytest.approx(a.cycles * 100)
+
+    def test_predicate_scales_with_terms(self):
+        one = self.cm.predicate(10, 1.0, terms=1)
+        three = self.cm.predicate(10, 1.0, terms=3)
+        assert three.cycles == pytest.approx(3 * one.cycles)
+
+    def test_hashing_includes_equals(self):
+        base = self.cm.hashing(10, 1.0)
+        with_eq = self.cm.hashing(10, 1.0, equals=5)
+        assert with_eq.cycles > base.cycles
+        assert base.category == "hashing"
+
+    def test_probe_shared_costs_more(self):
+        plain = self.cm.probe(10, 1.0)
+        shared = self.cm.probe(10, 1.0, shared=True)
+        assert shared.cycles > plain.cycles
+        assert plain.category == "joins"
+
+    def test_aggregate_scales_with_functions(self):
+        one = self.cm.aggregate(10, 1.0, functions=1)
+        eight = self.cm.aggregate(10, 1.0, functions=8)
+        assert eight.cycles > one.cycles
+        assert one.category == "aggregation"
+
+    def test_sort_n_log_n(self):
+        small = self.cm.sort(16, 1.0)
+        big = self.cm.sort(1024, 1.0)
+        expected_ratio = (1024 * math.log2(1024)) / (16 * math.log2(16))
+        assert big.cycles / small.cycles == pytest.approx(expected_ratio)
+
+    def test_sort_single_item(self):
+        # log2(1) = 0 must not zero the cost out.
+        assert self.cm.sort(1, 1.0).cycles > 0
+
+    def test_bitmap_and_word_granularity(self):
+        w1 = self.cm.bitmap_and(10, 1.0, nqueries=64)
+        w2 = self.cm.bitmap_and(10, 1.0, nqueries=65)
+        assert w2.cycles == pytest.approx(2 * w1.cycles)
+        assert w1.category == "joins"
+
+    def test_distribute_and_preprocess_categories(self):
+        assert self.cm.distribute(10, 1.0).category == "misc"
+        assert self.cm.preprocess(10, 1.0).category == "scans"
+
+    def test_copy_category_misc(self):
+        assert self.cm.copy(10, 1.0).category == "misc"
+
+    def test_all_command_categories_known(self):
+        cmds = [
+            self.cm.scan(1, 1),
+            self.cm.predicate(1, 1),
+            self.cm.read(1, 1),
+            self.cm.hashing(1, 1),
+            self.cm.build(1, 1),
+            self.cm.probe(1, 1),
+            self.cm.emit_join(1, 1),
+            self.cm.aggregate(1, 1),
+            self.cm.sort(2, 1),
+            self.cm.copy(1, 1),
+            self.cm.bitmap_and(1, 1, 1),
+            self.cm.distribute(1, 1),
+            self.cm.preprocess(1, 1),
+        ]
+        assert {c.category for c in cmds} <= set(CATEGORIES)
+
+
+class TestCalibration:
+    """Pin down the calibration *relations* the experiments depend on (see
+    DESIGN.md); absolute values may be retuned, these orderings must hold."""
+
+    def test_shared_probe_much_heavier_than_query_centric(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.shared_probe_extra > 5 * cm.probe_visit
+
+    def test_preprocessor_slower_than_plain_scan(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.preprocessor_tuple > cm.scan_tuple
+
+    def test_copy_comparable_to_probe(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.probe_visit <= cm.copy_tuple <= 5 * cm.probe_visit
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COST_MODEL.scan_tuple = 1  # type: ignore[misc]

@@ -19,7 +19,10 @@ deterministic discrete-event simulation of its 24-core testbed:
 * :mod:`repro.baselines` -- the reference evaluator and the Volcano-style
   query-centric baseline;
 * :mod:`repro.bench` -- workloads, runners, and one experiment per paper
-  figure/table.
+  figure/table;
+* :mod:`repro.server` -- the admission-controlled query service layer:
+  open-loop arrivals, bounded queue with deadlines and backpressure,
+  static/adaptive SP-GQP routing, service-level (tail latency) metrics.
 
 Typical use::
 

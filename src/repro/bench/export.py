@@ -15,6 +15,7 @@ from typing import Any
 
 from repro.bench.experiments import ExperimentResult
 from repro.bench.runner import RunResult
+from repro.sim.metrics import Metrics
 
 
 def run_result_to_dict(result: RunResult) -> dict[str, Any]:
@@ -45,6 +46,31 @@ def _plain(value: Any) -> Any:
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     return repr(value)
+
+
+def metrics_to_json(
+    metrics: Metrics,
+    hz: float | None = None,
+    window: float | None = None,
+    extra: dict[str, Any] | None = None,
+    indent: int = 2,
+) -> str:
+    """Serialize any :class:`~repro.sim.metrics.Metrics` (including the
+    service layer's ``ServiceMetrics``) standalone as JSON.
+
+    ``hz`` converts CPU cycles to core-seconds; ``window`` (for metrics
+    classes that accept it, e.g. ``ServiceMetrics``) adds throughput over
+    that many seconds; ``extra`` entries are merged into the payload
+    (run identification -- policy, rate, ... -- lives there)."""
+    if window is not None:
+        try:
+            data = metrics.to_dict(hz=hz, window=window)
+        except TypeError:  # plain Metrics: no throughput window concept
+            data = metrics.to_dict(hz=hz)
+    else:
+        data = metrics.to_dict(hz=hz)
+    payload = {**(extra or {}), **data}
+    return json.dumps(_plain(payload), indent=indent, sort_keys=True)
 
 
 def experiment_to_json(result: ExperimentResult, indent: int = 2) -> str:

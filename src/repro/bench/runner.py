@@ -10,7 +10,6 @@ experiment: each client submits its next query when the previous finishes.
 
 from __future__ import annotations
 
-import math
 import statistics
 from dataclasses import dataclass, field
 from typing import Callable
@@ -23,7 +22,19 @@ from repro.query.star import StarQuerySpec
 from repro.sim.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.sim.engine import Simulator
 from repro.sim.machine import PAPER_MACHINE, MachineSpec
+from repro.sim.metrics import percentile
 from repro.storage.manager import StorageConfig, StorageManager
+
+__all__ = [
+    "POSTGRES",
+    "HYBRID",
+    "RunResult",
+    "ThroughputResult",
+    "run_batch",
+    "run_closed_loop",
+    "geometric_levels",
+    "percentile",
+]
 
 #: Engine selectors: an EngineConfig, or one of these sentinels.
 POSTGRES = "postgres"  # the query-centric Volcano baseline
@@ -204,14 +215,3 @@ def geometric_levels(lo: int, hi: int) -> list[int]:
         v *= 2
     out.append(hi)
     return out
-
-
-def percentile(values: list[float], p: float) -> float:
-    """Linear-interpolated percentile of ``values`` at fraction ``p``."""
-    if not values:
-        raise ValueError("empty values")
-    xs = sorted(values)
-    k = (len(xs) - 1) * p
-    f = math.floor(k)
-    c = min(f + 1, len(xs) - 1)
-    return xs[f] + (xs[c] - xs[f]) * (k - f)

@@ -19,8 +19,16 @@ Commands
         python -m repro experiment fig6
         python -m repro experiment fig10 --full
 
+``serve``
+    Run the admission-controlled query service against an open-loop
+    arrival stream and print service-level metrics::
+
+        python -m repro serve --policy adaptive --arrival poisson --rate 8 --duration 5
+        python -m repro serve --policy static --arrival burst --rate 16 --duration 10 --json
+
 ``list``
-    Show available engine configurations, workloads and experiments.
+    Show available engine configurations, workloads, experiments,
+    routing policies and arrival processes.
 """
 
 from __future__ import annotations
@@ -200,13 +208,65 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Serve an open-loop query stream through the admission-controlled
+    service layer and print (or dump as JSON) the service metrics."""
+    from repro.server.config import ServiceConfig
+    from repro.server.service import serve
+
+    try:
+        config = ServiceConfig(
+            queue_capacity=args.queue_capacity,
+            max_in_flight=args.max_in_flight,
+            queue_timeout=args.timeout,
+        )
+        dataset = generate_ssb(args.sf, args.seed)
+        report = serve(
+            dataset.tables,
+            policy=args.policy,
+            arrival=args.arrival,
+            rate=args.rate,
+            duration=args.duration,
+            seed=args.seed,
+            workload=args.workload,
+            config=config,
+            storage_config=_storage_config(args),
+            threshold=args.threshold,
+            trace_path=args.trace,
+        )
+    except (ValueError, OSError) as exc:
+        raise SystemExit(f"repro serve: {exc}")
+    if args.json:
+        from repro.bench.export import metrics_to_json
+
+        print(
+            metrics_to_json(
+                report.metrics,
+                hz=report.machine_hz,
+                window=report.window,
+                extra=report.header(),
+            )
+        )
+    else:
+        print(report.render())
+    return 0
+
+
 def cmd_list(_args) -> int:
-    """List engine configurations, workloads and experiments."""
+    """List engine configurations, workloads, experiments, routing
+    policies and arrival processes."""
+    from repro.server.arrivals import ARRIVALS
+    from repro.server.router import POLICIES
+
     print(format_table("engine configurations", ["name"], [[n] for n in CONFIGS]))
     print()
     print(format_table("workloads", ["name"], [[n] for n in WORKLOADS]))
     print()
     print(format_table("experiments", ["name"], [[n] for n in _experiments()]))
+    print()
+    print(format_table("policies (serve)", ["name", "strategy"], [[n, d] for n, d in POLICIES.items()]))
+    print()
+    print(format_table("arrivals (serve)", ["name"], [[n] for n in ARRIVALS]))
     return 0
 
 
@@ -252,6 +312,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--chart", action="store_true", help="also draw an ASCII chart")
     p_exp.add_argument("--json", action="store_true", help="also dump machine-readable JSON")
     p_exp.set_defaults(fn=cmd_experiment)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve an open-loop query stream through the service layer"
+    )
+    # policy/arrival are validated by the service registries (not argparse
+    # choices) so unknown names exit with a one-line message, and new
+    # policies need registering in exactly one place.
+    p_serve.add_argument("--policy", default="adaptive", help="routing policy (see: repro list)")
+    p_serve.add_argument("--arrival", default="poisson", help="arrival process (see: repro list)")
+    p_serve.add_argument("--rate", type=float, default=8.0, help="mean arrivals per second")
+    p_serve.add_argument("--duration", type=float, default=10.0, help="serving window (simulated s)")
+    p_serve.add_argument("--workload", default="ssb-mix", help="query stream: ssb-mix or q32-random")
+    p_serve.add_argument("--sf", type=float, default=1.0, help="scale factor")
+    p_serve.add_argument("--seed", type=int, default=42)
+    p_serve.add_argument("--queue-capacity", type=int, default=64, help="admission queue bound")
+    p_serve.add_argument("--max-in-flight", type=int, default=None, help="in-flight cap (backpressure)")
+    p_serve.add_argument("--timeout", type=float, default=None, help="queueing deadline (s); late queries are shed")
+    p_serve.add_argument("--threshold", type=int, default=None, help="routing threshold override")
+    p_serve.add_argument("--trace", default=None, help="arrival-times file (--arrival trace)")
+    p_serve.add_argument("--disk", action="store_true", help="disk-resident database")
+    p_serve.add_argument("--direct-io", action="store_true", help="bypass the OS cache")
+    p_serve.add_argument("--bufferpool-gb", type=float, default=48.0)
+    p_serve.add_argument("--json", action="store_true", help="dump the report as JSON")
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_list = sub.add_parser("list", help="list configurations, workloads, experiments")
     p_list.set_defaults(fn=cmd_list)

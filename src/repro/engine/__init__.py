@@ -17,7 +17,7 @@ from repro.engine.config import (
     EngineConfig,
 )
 from repro.engine.exchange import END, FifoExchange
-from repro.engine.hybrid import HybridEngine
+from repro.engine.hybrid import HybridEngine, saturation_threshold
 from repro.engine.qpipe import QPipeEngine, QueryHandle
 from repro.engine.spl import SharedPagesList, SplExchange
 from repro.engine.wop import WindowOfOpportunity, wop_gain
@@ -37,5 +37,6 @@ __all__ = [
     "SharedPagesList",
     "SplExchange",
     "WindowOfOpportunity",
+    "saturation_threshold",
     "wop_gain",
 ]

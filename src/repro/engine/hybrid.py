@@ -27,7 +27,17 @@ from repro.sim.costmodel import DEFAULT_COST_MODEL, CostModel
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
+    from repro.sim.machine import MachineSpec
     from repro.storage.manager import StorageManager
+
+
+def saturation_threshold(machine: "MachineSpec") -> int:
+    """The paper's default switch point -- "the point when resources become
+    saturated": enough in-flight queries to cover the machine's cores (one
+    query-centric plan busies roughly two cores).  Shared by
+    :class:`HybridEngine` and the service layer's routing policies
+    (:mod:`repro.server.router`)."""
+    return max(machine.cores // 2, 1)
 
 
 class HybridEngine:
@@ -46,7 +56,7 @@ class HybridEngine:
         self.storage = storage
         #: in-flight queries at/above which new arrivals go to the GQP;
         #: default: the machine saturates (one plan busies ~2 cores).
-        self.threshold = threshold if threshold is not None else max(sim.machine.cores // 2, 1)
+        self.threshold = threshold if threshold is not None else saturation_threshold(sim.machine)
         self.query_centric = QPipeEngine(sim, storage, QPIPE_SP, cost)
         self.gqp = QPipeEngine(sim, storage, CJOIN_SP, cost)
         self._in_flight = 0

@@ -1,0 +1,112 @@
+"""Service-level metrics: the SLO view of a simulation run.
+
+:class:`ServiceMetrics` extends the simulator's
+:class:`~repro.sim.metrics.Metrics` (it *replaces* ``sim.metrics``, so CPU
+breakdown and sharing events keep accumulating in the same object) with the
+measurements a serving system reports against its SLOs:
+
+* end-to-end latency percentiles (p50/p95/p99), measured from **arrival**
+  -- queue wait included, which is what a client experiences;
+* queue-wait percentiles and depth-at-admission;
+* throughput (completed queries per second over the serving window);
+* admission counters: arrived / admitted / dropped (queue full) /
+  timed out (shed after exceeding the queueing deadline) / completed;
+* per-route counts, so routing policies can be compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.metrics import Metrics, percentile
+
+#: The percentiles every report carries, in SLO-dashboard order.
+REPORT_PERCENTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+@dataclass
+class ServiceMetrics(Metrics):
+    """Metrics for one :class:`~repro.server.service.QueryService` run."""
+
+    #: end-to-end latencies (completion - arrival), one per completed query
+    latencies: list[float] = field(default_factory=list)
+    #: time spent in the admission queue, one per dispatched query
+    queue_waits: list[float] = field(default_factory=list)
+    arrived: int = 0
+    admitted: int = 0
+    dropped: int = 0
+    timed_out: int = 0
+    completed: int = 0
+    #: completed queries per routing decision (e.g. "query-centric", "gqp")
+    routed: dict[str, int] = field(default_factory=dict)
+
+    # -- recording ------------------------------------------------------
+    def record_arrival(self) -> None:
+        self.arrived += 1
+
+    def record_admit(self) -> None:
+        self.admitted += 1
+
+    def record_drop(self) -> None:
+        self.dropped += 1
+
+    def record_timeout(self, queue_wait: float) -> None:
+        self.timed_out += 1
+        self.queue_waits.append(queue_wait)
+
+    def record_dispatch(self, queue_wait: float, route: str) -> None:
+        self.queue_waits.append(queue_wait)
+        self.routed[route] = self.routed.get(route, 0) + 1
+
+    def record_completion(self, latency: float) -> None:
+        self.completed += 1
+        self.latencies.append(latency)
+
+    # -- derived --------------------------------------------------------
+    @property
+    def in_system(self) -> int:
+        """Admitted queries not yet completed or shed (0 after a clean
+        drain)."""
+        return self.admitted - self.completed - self.timed_out
+
+    def latency_percentiles(self) -> dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` over completed queries
+        (zeros when nothing completed -- an idle report stays well-formed)."""
+        if not self.latencies:
+            return {name: 0.0 for name, _ in REPORT_PERCENTILES}
+        return {name: percentile(self.latencies, p) for name, p in REPORT_PERCENTILES}
+
+    def queue_wait_percentiles(self) -> dict[str, float]:
+        if not self.queue_waits:
+            return {name: 0.0 for name, _ in REPORT_PERCENTILES}
+        return {name: percentile(self.queue_waits, p) for name, p in REPORT_PERCENTILES}
+
+    def throughput(self, window: float) -> float:
+        """Completed queries per second over ``window`` seconds."""
+        return self.completed / window if window > 0 else 0.0
+
+    # -- export ---------------------------------------------------------
+    def to_dict(self, hz: float | None = None, window: float | None = None) -> dict[str, Any]:
+        """Everything :meth:`Metrics.to_dict` reports, plus the service
+        level: percentiles, counters, throughput (when ``window`` given)."""
+        out = super().to_dict(hz)
+        out.update(
+            {
+                "latency": self.latency_percentiles(),
+                "queue_wait": self.queue_wait_percentiles(),
+                "arrived": self.arrived,
+                "admitted": self.admitted,
+                "dropped": self.dropped,
+                "timed_out": self.timed_out,
+                "completed": self.completed,
+                "routed": dict(self.routed),
+            }
+        )
+        if self.latencies:
+            out["latency"]["mean"] = sum(self.latencies) / len(self.latencies)
+            out["latency"]["max"] = max(self.latencies)
+        if window is not None:
+            out["window_seconds"] = window
+            out["throughput_qps"] = self.throughput(window)
+        return out

@@ -1,0 +1,316 @@
+"""The always-on query service: arrivals -> admission -> routing -> engines.
+
+:class:`QueryService` turns the batch simulator into a *service*: an
+open-loop arrival source feeds a bounded admission queue; a dispatcher
+pops queries, sheds the ones whose queueing deadline passed, applies
+backpressure at the in-flight cap, asks the routing policy for a route and
+submits to one of two engines -- query-centric QPipe-SP or the CJOIN-SP
+GQP -- that share one :class:`~repro.storage.manager.StorageManager`
+(circular scans and caches are common, exactly as in
+:class:`~repro.engine.hybrid.HybridEngine`).  Completions feed latency
+back into :class:`~repro.server.metrics.ServiceMetrics` and the policy.
+
+The convenience entry point :func:`serve` builds the whole stack from
+names (policy, arrival process, workload) and returns a
+:class:`ServiceReport`; it is what the CLI's ``serve`` command and
+``benchmarks/bench_server_load.py`` call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.bench.workload import QueryJob
+from repro.data.rng import make_rng
+from repro.engine.config import CJOIN_SP, QPIPE_SP
+from repro.engine.qpipe import QPipeEngine, QueryHandle
+from repro.query.ssb_queries import random_q11, random_q21, random_q32
+from repro.server.admission import AdmissionQueue, QueuedQuery
+from repro.server.arrivals import ArrivalProcess, make_arrivals
+from repro.server.config import ServiceConfig
+from repro.server.metrics import ServiceMetrics
+from repro.server.router import QUERY_CENTRIC, RoutingPolicy, make_policy
+from repro.sim.commands import SLEEP
+from repro.sim.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.sim.engine import Simulator
+from repro.sim.machine import PAPER_MACHINE, MachineSpec
+from repro.sim.sync import Condition
+from repro.storage.manager import StorageConfig, StorageManager
+
+#: Workloads the service can synthesize (deterministic per-query RNG
+#: streams, so a served run replays exactly for any prefix length).
+SERVE_WORKLOADS = ("ssb-mix", "q32-random")
+
+
+def job_factory(workload: str, seed: int) -> Callable[[int], QueryJob]:
+    """A ``k -> QueryJob`` factory for an unbounded served stream."""
+    if workload == "ssb-mix":
+        makers = (random_q11, random_q21, random_q32)
+
+        def make(k: int) -> QueryJob:
+            return QueryJob(spec=makers[k % 3](make_rng(seed, "serve", k)))
+
+    elif workload == "q32-random":
+
+        def make(k: int) -> QueryJob:
+            return QueryJob(spec=random_q32(make_rng(seed, "serve", k)))
+
+    else:
+        raise ValueError(
+            f"unknown serve workload {workload!r} (choose from: {', '.join(SERVE_WORKLOADS)})"
+        )
+    return make
+
+
+class QueryService:
+    """One serving stack bound to one simulator.
+
+    Parameters
+    ----------
+    tables:
+        The (immutable) database tables to serve against.
+    policy:
+        A :class:`~repro.server.router.RoutingPolicy` or a policy name.
+    config:
+        Admission/dispatch knobs (:class:`~repro.server.config.ServiceConfig`).
+    """
+
+    def __init__(
+        self,
+        tables: dict,
+        policy: RoutingPolicy | str = "adaptive",
+        config: ServiceConfig = ServiceConfig(),
+        machine: MachineSpec = PAPER_MACHINE,
+        cost: CostModel = DEFAULT_COST_MODEL,
+        storage_config: StorageConfig = StorageConfig(),
+    ):
+        self.sim = Simulator(machine)
+        self.metrics = ServiceMetrics()
+        self.sim.metrics = self.metrics  # extend, in place, what stages charge into
+        self.config = config
+        self.storage = StorageManager(self.sim, cost, tables, storage_config)
+        #: both engines share the one storage manager (shared circular
+        #: scans, buffer pool and page cache), as in HybridEngine
+        self.query_centric = QPipeEngine(self.sim, self.storage, QPIPE_SP, cost)
+        self.gqp = QPipeEngine(self.sim, self.storage, CJOIN_SP, cost)
+        self.policy = make_policy(policy, machine) if isinstance(policy, str) else policy
+        self.queue = AdmissionQueue(self.sim, config.queue_capacity, self.metrics)
+        self._in_flight = 0
+        self._slot_free = Condition(self.sim, "service.slot-free")
+        self.handles: list[QueryHandle] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        jobs: Callable[[int], QueryJob],
+        arrivals: ArrivalProcess,
+        duration: float | None,
+    ) -> float:
+        """Serve ``jobs`` under ``arrivals`` for ``duration`` simulated
+        seconds (``None``: until the arrival process is exhausted), drain,
+        and return the final simulated time."""
+        self.sim.spawn(self._source(jobs, arrivals, duration), "service-source")
+        self.sim.spawn(self._dispatch(), "service-dispatcher")
+        return self.sim.run()
+
+    # ------------------------------------------------------------------
+    def _source(
+        self,
+        jobs: Callable[[int], QueryJob],
+        arrivals: ArrivalProcess,
+        duration: float | None,
+    ) -> Iterator[Any]:
+        seq = 0
+        for gap in arrivals.gaps():
+            if gap > 0:
+                yield SLEEP(gap)
+            if duration is not None and self.sim.now >= duration:
+                break
+            self.metrics.record_arrival()
+            deadline = (
+                self.sim.now + self.config.queue_timeout
+                if self.config.queue_timeout is not None
+                else None
+            )
+            self.queue.offer(QueuedQuery(seq, jobs(seq), self.sim.now, deadline))
+            seq += 1
+        self.queue.close()
+
+    def _dispatch(self) -> Iterator[Any]:
+        while True:
+            item = yield from self.queue.get()
+            if item is AdmissionQueue.CLOSED:
+                break
+            if self._shed_if_expired(item):
+                continue
+            while (
+                self.config.max_in_flight is not None
+                and self._in_flight >= self.config.max_in_flight
+            ):
+                yield from self._slot_free.wait()
+            # Backpressure may have held the query past its deadline.
+            if self._shed_if_expired(item):
+                continue
+            self._submit(item)
+
+    def _shed_if_expired(self, item: QueuedQuery) -> bool:
+        if item.expired(self.sim.now):
+            self.metrics.record_timeout(self.sim.now - item.arrival_time)
+            return True
+        return False
+
+    def _submit(self, item: QueuedQuery) -> None:
+        job = item.job
+        if job.spec is None:
+            # Explicit plans only run query-centric: the GQP evaluates
+            # star-query joins (same rule as HybridEngine.submit_plan).
+            route = QUERY_CENTRIC
+        else:
+            route = self.policy.choose(job.spec, self._in_flight, self.queue.depth)
+        engine = self.query_centric if route == QUERY_CENTRIC else self.gqp
+        self.metrics.record_dispatch(self.sim.now - item.arrival_time, route)
+        if job.spec is not None:
+            handle = engine.submit(job.spec, label=job.label or None)
+        else:
+            handle = engine.submit_plan(job.plan, label=job.label)
+        self.handles.append(handle)
+        self._in_flight += 1
+        self.sim.spawn(
+            self._watch(handle, item, route),
+            name=f"service-watch-s{item.seq}",
+            daemon=True,
+        )
+
+    def _watch(self, handle: QueryHandle, item: QueuedQuery, route: str) -> Iterator[Any]:
+        yield from handle.wait()
+        self._in_flight -= 1
+        latency = self.sim.now - item.arrival_time
+        self.metrics.record_completion(latency)
+        self.policy.observe_completion(route, latency)
+        self._slot_free.notify_one()
+
+
+# ---------------------------------------------------------------------------
+# Reports and the one-call entry point
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ServiceReport:
+    """Everything one served run measured, ready to render or serialize."""
+
+    policy: str
+    arrival: str
+    rate: float
+    duration: float | None
+    workload: str
+    sim_seconds: float
+    window: float
+    avg_cores_used: float
+    avg_read_mb_s: float
+    metrics: ServiceMetrics
+    machine_hz: float
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.metrics.throughput(self.window)
+
+    def header(self) -> dict[str, Any]:
+        """Run identification -- everything that is not a measurement."""
+        return {
+            "policy": self.policy,
+            "arrival": self.arrival,
+            "rate": self.rate,
+            "duration": self.duration,
+            "workload": self.workload,
+            "sim_seconds": self.sim_seconds,
+            "avg_cores_used": self.avg_cores_used,
+            "avg_read_mb_s": self.avg_read_mb_s,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        out = self.header()
+        out.update(self.metrics.to_dict(hz=self.machine_hz, window=self.window))
+        return out
+
+    def render(self) -> str:
+        from repro.bench.reporting import format_table
+
+        m = self.metrics
+        lat = m.latency_percentiles()
+        qw = m.queue_wait_percentiles()
+        rows = [
+            ["policy", self.policy],
+            ["arrival", f"{self.arrival} @ {self.rate}/s"],
+            ["window (s)", f"{self.window:.2f}"],
+            ["arrived", m.arrived],
+            ["admitted", m.admitted],
+            ["dropped (queue full)", m.dropped],
+            ["timed out (shed)", m.timed_out],
+            ["completed", m.completed],
+            ["throughput (q/s)", f"{self.throughput_qps:.3f}"],
+            ["latency p50 (s)", f"{lat['p50']:.3f}"],
+            ["latency p95 (s)", f"{lat['p95']:.3f}"],
+            ["latency p99 (s)", f"{lat['p99']:.3f}"],
+            ["queue wait p95 (s)", f"{qw['p95']:.3f}"],
+            ["avg cores used", f"{self.avg_cores_used:.2f}"],
+        ]
+        for route, n in sorted(m.routed.items()):
+            rows.append([f"routed {route}", n])
+        return format_table(f"serve: {self.workload} ({self.policy})", ["metric", "value"], rows)
+
+
+def serve(
+    tables: dict,
+    policy: RoutingPolicy | str = "adaptive",
+    arrival: str = "poisson",
+    rate: float = 8.0,
+    duration: float | None = 10.0,
+    seed: int = 1,
+    workload: str = "ssb-mix",
+    config: ServiceConfig = ServiceConfig(),
+    machine: MachineSpec = PAPER_MACHINE,
+    storage_config: StorageConfig = StorageConfig(),
+    threshold: int | None = None,
+    trace_path: str | None = None,
+    cost: CostModel = DEFAULT_COST_MODEL,
+) -> ServiceReport:
+    """Serve a synthetic workload end-to-end and report service metrics.
+
+    Raises :class:`ValueError` on unknown policy/arrival/workload names --
+    the CLI converts those into one-line exits.
+    """
+    jobs = job_factory(workload, seed)
+    arrivals = make_arrivals(arrival, rate, seed, trace_path=trace_path)
+    if isinstance(policy, str):
+        policy = make_policy(policy, machine, threshold)
+    service = QueryService(
+        tables,
+        policy,
+        config=config,
+        machine=machine,
+        cost=cost,
+        storage_config=storage_config,
+    )
+    service.run(jobs, arrivals, duration)
+    sim = service.sim
+    window = max(sim.now, duration or 0.0) or 1.0
+    return ServiceReport(
+        policy=policy.name,
+        arrival=arrivals.name,
+        rate=rate,
+        duration=duration,
+        workload=workload,
+        sim_seconds=sim.now,
+        window=window,
+        avg_cores_used=sim.avg_cores_used(window),
+        avg_read_mb_s=sim.disk.bytes_delivered / window / (1 << 20),
+        metrics=service.metrics,
+        machine_hz=machine.hz,
+    )

@@ -11,11 +11,29 @@ These mirror the measurements reported in the paper's evaluation tables:
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Any
 
 #: Canonical breakdown categories, in the paper's Figure 11 legend order.
 CATEGORIES = ("hashing", "joins", "aggregation", "scans", "locks", "misc")
+
+
+def percentile(values: list[float], p: float) -> float:
+    """Linear-interpolated percentile of ``values`` at fraction ``p``.
+
+    The canonical percentile implementation for the whole package (the
+    batch runner and the service layer both report through it)."""
+    if not values:
+        raise ValueError("empty values")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    xs = sorted(values)
+    k = (len(xs) - 1) * p
+    f = math.floor(k)
+    c = min(f + 1, len(xs) - 1)
+    return xs[f] + (xs[c] - xs[f]) * (k - f)
 
 
 @dataclass
@@ -49,6 +67,24 @@ class Metrics:
 
     def bump(self, label: str, n: int = 1) -> None:
         self.counts[label] += n
+
+    # ------------------------------------------------------------------
+    def to_dict(self, hz: float | None = None) -> dict[str, Any]:
+        """A plain-dict (JSON-safe) view of the accumulated counters.
+
+        Subclasses (e.g. the service layer's ``ServiceMetrics``) extend the
+        returned dict with their own measurements; ``bench.export``
+        serializes whatever this returns."""
+        out: dict[str, Any] = {
+            "cpu_cycles_by_category": dict(self.cpu_cycles_by_category),
+            "sharing_events": dict(self.sharing_events),
+            "durations": dict(self.durations),
+            "counts": dict(self.counts),
+        }
+        if hz is not None:
+            out["cpu_seconds_by_category"] = self.cpu_seconds_by_category(hz)
+            out["total_cpu_seconds"] = self.total_cpu_seconds(hz)
+        return out
 
     # ------------------------------------------------------------------
     def cpu_seconds_by_category(self, hz: float) -> dict[str, float]:

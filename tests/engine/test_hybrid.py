@@ -78,6 +78,49 @@ class TestRouting:
         assert norm(h_qc.results) == oracle
         assert norm(h_gqp.results) == oracle
 
+    def test_exactly_at_threshold_routes_gqp(self, ssb):
+        """The boundary is >=: the arrival that finds in_flight == threshold
+        is the first to go to the GQP."""
+        sim, hybrid = make_hybrid(ssb, threshold=3)
+        for i in range(3):
+            hybrid.submit(q32("CHINA", "FRANCE", 1992 + i, 1996))
+        assert hybrid.in_flight == 3
+        hybrid.submit(q32("JAPAN", "BRAZIL", 1992, 1995))
+        sim.run()
+        assert hybrid.routed == {"query-centric": 3, "gqp": 1}
+
+    def test_threshold_zero_always_gqp(self, ssb):
+        spec = q32("CHINA", "FRANCE", 1993, 1996)
+        oracle = norm(evaluate_plan(spec.to_query_centric_plan(ssb.tables)))
+        sim, hybrid = make_hybrid(ssb, threshold=0)
+        handles = [hybrid.submit(spec) for _ in range(3)]
+        sim.run()
+        assert hybrid.routed == {"query-centric": 0, "gqp": 3}
+        for h in handles:
+            assert norm(h.results) == oracle
+
+    def test_engines_share_one_storage_manager(self, ssb):
+        """Both engines must sit on the same StorageManager -- circular
+        scans, buffer pool and caches are common, so a query routed either
+        way reuses the other route's I/O work."""
+        sim = Simulator(MachineSpec())
+        storage = StorageManager(sim, DEFAULT_COST_MODEL, ssb.tables, StorageConfig(resident="memory"))
+        hybrid = HybridEngine(sim, storage, threshold=1)
+        assert hybrid.query_centric.storage is storage
+        assert hybrid.gqp.storage is storage
+        assert hybrid.query_centric.storage.tables is hybrid.gqp.storage.tables
+        # Exercise both routes against the shared manager.
+        hybrid.submit(q32("CHINA", "FRANCE", 1993, 1996))
+        hybrid.submit(q32("CHINA", "FRANCE", 1993, 1996))
+        sim.run()
+        assert hybrid.routed == {"query-centric": 1, "gqp": 1}
+
+    def test_default_threshold_is_saturation(self, ssb):
+        from repro.engine.hybrid import saturation_threshold
+
+        sim, hybrid = make_hybrid(ssb, threshold=None)
+        assert hybrid.threshold == saturation_threshold(sim.machine) == sim.machine.cores // 2
+
     def test_plans_always_query_centric(self, ssb):
         from repro.data import generate_tpch
         from repro.query.tpch_queries import tpch_q1_plan

@@ -1,0 +1,92 @@
+"""Tests for the bounded admission queue."""
+
+import pytest
+
+from repro.bench.workload import QueryJob
+from repro.query.ssb_queries import q32
+from repro.server.admission import AdmissionQueue, QueuedQuery
+from repro.server.metrics import ServiceMetrics
+from repro.sim import Simulator
+from repro.sim.machine import MachineSpec
+
+
+def make_queue(capacity):
+    sim = Simulator(MachineSpec(cores=2))
+    metrics = ServiceMetrics()
+    return sim, metrics, AdmissionQueue(sim, capacity, metrics)
+
+
+def item(seq, arrival=0.0, deadline=None):
+    job = QueryJob(spec=q32("CHINA", "FRANCE", 1993, 1996))
+    return QueuedQuery(seq=seq, job=job, arrival_time=arrival, deadline=deadline)
+
+
+class TestBounds:
+    def test_offers_admit_until_capacity_then_drop(self):
+        _sim, metrics, q = make_queue(3)
+        outcomes = [q.offer(item(i)) for i in range(5)]
+        assert outcomes == [True, True, True, False, False]
+        assert metrics.admitted == 3
+        assert metrics.dropped == 2
+        assert q.depth == 3
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            make_queue(0)
+
+    def test_offer_never_blocks(self):
+        # try_put semantics: a full queue returns False immediately; the
+        # open-loop arrival source must not stall in simulated time.
+        _sim, _metrics, q = make_queue(1)
+        assert q.offer(item(0)) is True
+        assert q.offer(item(1)) is False
+
+
+class TestDequeue:
+    def test_fifo_order_and_closed_sentinel(self):
+        sim, _metrics, q = make_queue(4)
+        for i in range(3):
+            q.offer(item(i))
+        q.close()
+        seen = []
+
+        def consumer():
+            while True:
+                got = yield from q.get()
+                if got is AdmissionQueue.CLOSED:
+                    return
+                seen.append(got.seq)
+
+        sim.spawn(consumer(), "consumer")
+        sim.run()
+        assert seen == [0, 1, 2]
+
+    def test_get_blocks_until_offer(self):
+        sim, _metrics, q = make_queue(2)
+        seen = []
+
+        def consumer():
+            got = yield from q.get()
+            seen.append((got.seq, sim.now))
+
+        def producer():
+            from repro.sim.commands import SLEEP
+
+            yield SLEEP(1.5)
+            q.offer(item(9))
+            q.close()
+
+        sim.spawn(consumer(), "consumer")
+        sim.spawn(producer(), "producer")
+        sim.run()
+        assert seen == [(9, 1.5)]
+
+
+class TestDeadlines:
+    def test_expiry(self):
+        it = item(0, arrival=1.0, deadline=2.0)
+        assert not it.expired(2.0)
+        assert it.expired(2.5)
+
+    def test_no_deadline_never_expires(self):
+        assert not item(0).expired(1e9)

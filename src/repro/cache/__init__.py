@@ -1,0 +1,15 @@
+"""repro.cache: the shared result cache (sub-plan reuse beyond the WoP).
+
+See :mod:`repro.cache.result_cache` for the design discussion and
+``docs/caching.md`` for how it is wired through the engine, the storage
+manager, the service router and the CLI.
+"""
+
+from repro.cache.result_cache import (
+    CACHE_POLICIES,
+    CacheEntry,
+    ResultCache,
+    cached_query_centric_plan,
+)
+
+__all__ = ["CACHE_POLICIES", "CacheEntry", "ResultCache", "cached_query_centric_plan"]

@@ -1,0 +1,265 @@
+"""Shared result cache: materialized sub-plan reuse beyond the WoP.
+
+The paper shares work only among queries whose identical sub-plans overlap
+*in time*: the step Window of Opportunity closes the moment a host starts
+emitting, and a query arriving a millisecond later recomputes everything.
+Cache-based multi-query optimization (Michiardi et al.) and shared cloud
+execution ("Pay One, Get Hundreds for Free") add the missing axis: keep the
+*materialized output* of common sub-plans and replay it for later identical
+arrivals at memory-read cost.
+
+:class:`ResultCache` is that store.  It is keyed by the very plan
+signatures the SP machinery already matches hosts and satellites on
+(:attr:`~repro.engine.packet.Packet.signature`), so anything SP could have
+shared inside the WoP the cache can share after it.  One cache instance
+lives on the :class:`~repro.storage.manager.StorageManager`, which both
+engines of a hybrid/service deployment share -- a result filled by the
+query-centric path is visible to a query routed anywhere.
+
+Mechanics (all in simulated time, fully deterministic):
+
+* **probe** -- on stage dispatch a packet looks itself up before the WoP
+  registry; a hit replays the cached pages through the packet's exchange.
+* **fill** -- a miss with an eligible sub-plan opens one extra consumer on
+  the host's Shared Pages List; the SPL's pull model means the extra
+  consumer adds *nothing* to the producer's critical path (the same
+  argument as paper Section 4), and the SPL's bounded size still holds.
+* **eviction** -- byte-budgeted, two policies: plain ``lru`` and
+  ``benefit`` (cost x frequency / size: evict the entry whose re-creation
+  cost per resident byte is lowest).
+* **invalidation** -- entries record the base tables their sub-plan read;
+  :meth:`invalidate_table` drops everything touching an updated table.
+
+Ordering inside the cache is insertion-ordered dicts plus a logical tick
+counter, never wall-clock or unseeded randomness, so a run's hit/miss/
+eviction sequence is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.storage.page import Batch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+#: name -> one-line description, for ``python -m repro list``.
+CACHE_POLICIES = {
+    "lru": "evict the least recently probed entry",
+    "benefit": "evict the lowest cost x frequency / size entry first",
+}
+
+
+class CacheEntry:
+    """One materialized sub-plan result."""
+
+    __slots__ = ("key", "batches", "nbytes", "cost_seconds", "tables", "stage",
+                 "hits", "last_used", "seq")
+
+    def __init__(
+        self,
+        key: tuple,
+        batches: list[Batch],
+        nbytes: float,
+        cost_seconds: float,
+        tables: frozenset[str],
+        stage: str,
+        seq: int,
+    ):
+        self.key = key
+        self.batches = batches
+        self.nbytes = nbytes
+        self.cost_seconds = cost_seconds  # simulated time the producer took
+        self.tables = tables  # base tables read, for invalidation
+        self.stage = stage
+        self.hits = 0
+        self.last_used = seq
+        self.seq = seq
+
+    def benefit_per_byte(self) -> float:
+        """Eviction score of the ``benefit`` policy: what re-creating this
+        entry would cost, per resident byte, weighted by observed reuse."""
+        return self.cost_seconds * (1.0 + self.hits) / max(self.nbytes, 1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CacheEntry {self.stage} pages={len(self.batches)} hits={self.hits}>"
+
+
+class ResultCache:
+    """Byte-budgeted, cost-aware store of materialized sub-plan outputs."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity_bytes: float,
+        policy: str = "benefit",
+        max_entry_fraction: float = 0.5,
+    ):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if policy not in CACHE_POLICIES:
+            raise ValueError(
+                f"unknown cache policy {policy!r} (choose from: {', '.join(CACHE_POLICIES)})"
+            )
+        if not 0.0 < max_entry_fraction <= 1.0:
+            raise ValueError("max_entry_fraction must be in (0, 1]")
+        self.sim = sim
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy
+        self.max_entry_fraction = max_entry_fraction
+        self._entries: dict[tuple, CacheEntry] = {}  # insertion-ordered
+        self._filling: set[tuple] = set()  # keys with an in-flight fill
+        self._bytes = 0.0
+        self._tick = 0  # logical clock: deterministic LRU / tie-breaks
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.rejected = 0  # entries larger than the per-entry bound
+        self.invalidated = 0
+
+    # -- probes ---------------------------------------------------------
+    def probe(self, key: tuple) -> CacheEntry | None:
+        """Look up ``key``, counting the hit or miss."""
+        entry = self._entries.get(key)
+        self._tick += 1
+        if entry is None:
+            self.misses += 1
+            self.sim.metrics.bump("result_cache_misses")
+            return None
+        entry.hits += 1
+        entry.last_used = self._tick
+        self.hits += 1
+        self.sim.metrics.bump("result_cache_hits")
+        return entry
+
+    def contains(self, key: tuple) -> bool:
+        """Silent membership test (no counters) -- the routing layer's
+        "would this query likely be served from cache?" probe."""
+        return key in self._entries
+
+    def contains_any(self, keys: Iterable[tuple]) -> bool:
+        return any(k in self._entries for k in keys)
+
+    # -- fills ----------------------------------------------------------
+    def begin_fill(self, key: tuple) -> bool:
+        """Claim ``key`` for one in-flight fill; False if one is already
+        running (concurrent identical hosts fill once, not N times)."""
+        if key in self._filling:
+            return False
+        self._filling.add(key)
+        return True
+
+    def end_fill(self, key: tuple) -> None:
+        self._filling.discard(key)
+
+    def fits_entry(self, nbytes: float) -> bool:
+        """Would an entry of ``nbytes`` be admissible at all?  Fill workers
+        consult this page by page and abandon oversized spills early."""
+        return nbytes <= self.capacity_bytes * self.max_entry_fraction
+
+    def admit(
+        self,
+        key: tuple,
+        batches: list[Batch],
+        nbytes: float,
+        cost_seconds: float,
+        tables: frozenset[str],
+        stage: str = "",
+    ) -> bool:
+        """Insert a materialized result, evicting by policy to fit."""
+        if not self.fits_entry(nbytes):
+            self.rejected += 1
+            self.sim.metrics.bump("result_cache_rejected")
+            return False
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old.nbytes
+        while self._bytes + nbytes > self.capacity_bytes and self._entries:
+            self._evict_one()
+        self._tick += 1
+        self._entries[key] = CacheEntry(
+            key, batches, nbytes, cost_seconds, tables, stage, self._tick
+        )
+        self._bytes += nbytes
+        self.insertions += 1
+        self.sim.metrics.bump("result_cache_insertions")
+        return True
+
+    def _evict_one(self) -> None:
+        if self.policy == "lru":
+            victim = min(self._entries.values(), key=lambda e: (e.last_used, e.seq))
+        else:  # benefit per byte; seq breaks exact-score ties deterministically
+            victim = min(self._entries.values(), key=lambda e: (e.benefit_per_byte(), e.seq))
+        del self._entries[victim.key]
+        self._bytes -= victim.nbytes
+        self.evictions += 1
+        self.sim.metrics.bump("result_cache_evictions")
+
+    # -- invalidation ---------------------------------------------------
+    def invalidate_table(self, table_name: str) -> int:
+        """Drop every entry whose sub-plan read ``table_name``; returns how
+        many were dropped."""
+        dead = [k for k, e in self._entries.items() if table_name in e.tables]
+        for key in dead:
+            self._bytes -= self._entries.pop(key).nbytes
+        if dead:
+            self.invalidated += len(dead)
+            self.sim.metrics.bump("result_cache_invalidated", len(dead))
+        return len(dead)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0.0
+
+    # -- introspection --------------------------------------------------
+    @property
+    def resident_bytes(self) -> float:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        """JSON-safe counter snapshot (exported by the service layer)."""
+        return {
+            "policy": self.policy,
+            "capacity_bytes": self.capacity_bytes,
+            "resident_bytes": self._bytes,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "rejected": self.rejected,
+            "invalidated": self.invalidated,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ResultCache {self.policy} entries={len(self._entries)} "
+            f"bytes={self._bytes:.0f}/{self.capacity_bytes:.0f}>"
+        )
+
+
+def cached_query_centric_plan(storage, spec):
+    """The spec's query-centric plan when a result-cache hit is likely for
+    it -- its root signature (or, under a sort root, the aggregate below)
+    is resident in ``storage``'s cache -- else ``None``.
+
+    This is the routing layer's cache discount (HybridEngine and the
+    service router both call it): a likely hit replays materialized pages
+    at memory-read cost, so the query should stay query-centric instead of
+    paying GQP admission.  Plan construction is pure bookkeeping with no
+    simulated cost; the replay worker pays the probe cycles."""
+    cache = storage.result_cache
+    if cache is None:
+        return None
+    from repro.query.plan import SortNode  # deferred: avoid import cycles
+
+    plan = spec.to_query_centric_plan(storage.tables)
+    candidates = [plan.signature]
+    if isinstance(plan, SortNode):
+        candidates.append(plan.child.signature)
+    return plan if cache.contains_any(candidates) else None

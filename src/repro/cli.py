@@ -91,13 +91,19 @@ def _experiments() -> dict[str, Callable]:
 
 
 def _storage_config(args) -> StorageConfig:
+    cache_mb = getattr(args, "result_cache_mb", 0.0)
+    cache_kwargs = {
+        "result_cache_bytes": cache_mb * 1024 * 1024,
+        "result_cache_policy": getattr(args, "cache_policy", "benefit"),
+    }
     if args.disk:
         return StorageConfig(
             resident="disk",
             bufferpool_bytes=args.bufferpool_gb * GB,
             direct_io=args.direct_io,
+            **cache_kwargs,
         )
-    return StorageConfig(resident="memory")
+    return StorageConfig(resident="memory", **cache_kwargs)
 
 
 def _build_workload(args):
@@ -255,18 +261,30 @@ def cmd_serve(args) -> int:
 def cmd_list(_args) -> int:
     """List engine configurations, workloads, experiments, routing
     policies and arrival processes."""
+    from repro.cache import CACHE_POLICIES
     from repro.server.arrivals import ARRIVALS
     from repro.server.router import POLICIES
+    from repro.server.service import SERVE_WORKLOADS
 
     print(format_table("engine configurations", ["name"], [[n] for n in CONFIGS]))
     print()
     print(format_table("workloads", ["name"], [[n] for n in WORKLOADS]))
+    print()
+    print(format_table("workloads (serve)", ["name"], [[n] for n in SERVE_WORKLOADS]))
     print()
     print(format_table("experiments", ["name"], [[n] for n in _experiments()]))
     print()
     print(format_table("policies (serve)", ["name", "strategy"], [[n, d] for n, d in POLICIES.items()]))
     print()
     print(format_table("arrivals (serve)", ["name"], [[n] for n in ARRIVALS]))
+    print()
+    print(
+        format_table(
+            "cache policies (--cache-policy)",
+            ["name", "strategy"],
+            [[n, d] for n, d in CACHE_POLICIES.items()],
+        )
+    )
     return 0
 
 
@@ -293,6 +311,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--disk", action="store_true", help="disk-resident database")
     p_run.add_argument("--direct-io", action="store_true", help="bypass the OS cache")
     p_run.add_argument("--bufferpool-gb", type=float, default=48.0)
+    p_run.add_argument("--result-cache-mb", type=float, default=0.0,
+                       help="shared result cache budget in MB (0 disables)")
+    p_run.add_argument("--cache-policy", choices=("lru", "benefit"), default="benefit",
+                       help="result-cache eviction policy (see: repro list)")
     p_run.set_defaults(fn=cmd_run)
 
     p_query = sub.add_parser("query", help="run one SSB query and print its rows")
@@ -323,7 +345,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--arrival", default="poisson", help="arrival process (see: repro list)")
     p_serve.add_argument("--rate", type=float, default=8.0, help="mean arrivals per second")
     p_serve.add_argument("--duration", type=float, default=10.0, help="serving window (simulated s)")
-    p_serve.add_argument("--workload", default="ssb-mix", help="query stream: ssb-mix or q32-random")
+    p_serve.add_argument("--workload", default="ssb-mix",
+                         help="query stream: ssb-mix, q32-random or recurring:<rate>")
     p_serve.add_argument("--sf", type=float, default=1.0, help="scale factor")
     p_serve.add_argument("--seed", type=int, default=42)
     p_serve.add_argument("--queue-capacity", type=int, default=64, help="admission queue bound")
@@ -334,6 +357,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--disk", action="store_true", help="disk-resident database")
     p_serve.add_argument("--direct-io", action="store_true", help="bypass the OS cache")
     p_serve.add_argument("--bufferpool-gb", type=float, default=48.0)
+    p_serve.add_argument("--result-cache-mb", type=float, default=0.0,
+                         help="shared result cache budget in MB (0 disables)")
+    p_serve.add_argument("--cache-policy", choices=("lru", "benefit"), default="benefit",
+                         help="result-cache eviction policy (see: repro list)")
     p_serve.add_argument("--json", action="store_true", help="dump the report as JSON")
     p_serve.set_defaults(fn=cmd_serve)
 

@@ -65,6 +65,14 @@ class EngineConfig:
     #: latency, and the latency of a batch is dominated by the
     #: longest-running query."  Off by default (CJOIN admits continuously).
     gqp_batched_execution: bool = False
+    #: stages whose packets may probe/fill the shared result cache (when
+    #: the storage manager carries one; see repro.cache).  Materialization
+    #: points with small outputs and large recompute costs by default --
+    #: aggregate/sort roots serve whole recurring queries from cache, and
+    #: CJOIN packets cover the GQP route.  Raw scans are never cached (the
+    #: buffer pool already holds base pages); 'join' may be opted in, at
+    #: the price of spilling potentially fact-sized intermediate results.
+    result_cache_stages: tuple[str, ...] = ("aggregate", "sort", "cjoin")
 
     def __post_init__(self) -> None:
         if self.comm not in ("spl", "fifo"):
@@ -81,6 +89,12 @@ class EngineConfig:
             raise ValueError("gqp_batched_execution requires use_cjoin")
         if self.cjoin_threads not in ("horizontal", "vertical"):
             raise ValueError("cjoin_threads must be 'horizontal' or 'vertical'")
+        allowed = {"tablescan", "join", "aggregate", "sort", "cjoin"}
+        unknown = set(self.result_cache_stages) - allowed
+        if unknown:
+            raise ValueError(f"unknown result_cache_stages: {sorted(unknown)}")
+        if "tablescan" in self.result_cache_stages:
+            raise ValueError("raw scans are served by the buffer pool, not the result cache")
 
     def with_comm(self, comm: str) -> "EngineConfig":
         return replace(self, comm=comm, name=f"{self.name} ({comm.upper()})")

@@ -4,16 +4,32 @@ Each stage keeps a registry of in-flight host packets keyed by plan
 signature.  Admitting a packet whose signature matches a registered host
 *inside the host's Window of Opportunity* attaches it as a satellite: its
 whole sub-plan is cancelled and its consumers reuse the host's results
-(paper Section 2.3)."""
+(paper Section 2.3).
+
+On top of the WoP, cache-eligible stages consult the shared result cache
+(:mod:`repro.cache`) on dispatch.  A probe *hit* replays the materialized
+pages through the packet's own exchange at memory-read cost -- the whole
+sub-plan is cancelled exactly as for a satellite, but with no host required
+to be in flight: sharing beyond the Window of Opportunity.  A probe *miss*
+that becomes a host additionally spills its output into the cache through
+one extra SPL consumer; the SPL's pull model keeps the producer's critical
+path untouched (the Section 4 argument) and its bounded size still governs
+producer pacing.
+"""
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator
+from typing import TYPE_CHECKING, Any, Generator, Iterator
 
+from repro.engine.exchange import END
 from repro.engine.packet import Packet
 from repro.engine.wop import STAGE_WOP, WindowOfOpportunity
+from repro.query.plan import referenced_tables
+from repro.sim.commands import CPU
+from repro.storage.page import Batch
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.cache import CacheEntry, ResultCache
     from repro.engine.qpipe import QPipeEngine
     from repro.query.plan import PlanNode
     from repro.query.star import Query
@@ -29,6 +45,7 @@ class Stage:
         self._registry: dict[tuple, Packet] = {}
         self.packets_admitted = 0
         self.packets_shared = 0
+        self.packets_cached = 0
 
     # ------------------------------------------------------------------
     @property
@@ -42,13 +59,33 @@ class Stage:
             "cjoin": cfg.sp_cjoin,
         }.get(self.name, False)
 
+    def result_cache(self) -> "ResultCache | None":
+        """The shared result cache, when one exists and this stage is
+        cache-eligible (None otherwise -- the zero-cost default path)."""
+        if self.name not in self.engine.config.result_cache_stages:
+            return None
+        return self.engine.storage.result_cache
+
     def make_packet(self, node: "PlanNode", query: "Query") -> Packet:
         return Packet(node, query, self.name, self.wop)
 
     def admit(self, packet: Packet) -> bool:
-        """Register ``packet``; returns True if it attached as a satellite
-        (in which case the caller must not build its sub-plan)."""
+        """Register ``packet``; returns True if its sub-plan must not be
+        built -- it attached as a satellite, or it is served from the
+        result cache."""
         self.packets_admitted += 1
+        cache = self.result_cache()
+        if cache is not None:
+            entry = cache.probe(packet.signature)
+            if entry is not None:
+                packet.exchange = self.engine.new_exchange(
+                    f"{self.name}.p{packet.packet_id}"
+                )
+                self.packets_cached += 1
+                packet.query.cache_served = True
+                self._record_cache_hit(packet)
+                self.spawn_worker(packet, self._replay_cached(packet, entry))
+                return True
         if self.sp_enabled:
             host = self._registry.get(packet.signature)
             if host is not None and host.can_attach():
@@ -60,6 +97,11 @@ class Stage:
         if self.sp_enabled:
             # Replaces a host that fell out of its WoP, if any.
             self._registry[packet.signature] = packet
+        if cache is not None and self._fill_eligible(packet, cache):
+            self.engine.sim.spawn(
+                self._fill_cache(packet, cache),
+                name=f"cachefill-{self.name}-p{packet.packet_id}",
+            )
         return False
 
     def unregister(self, packet: Packet) -> None:
@@ -75,12 +117,81 @@ class Stage:
         )
 
     # ------------------------------------------------------------------
+    # Result cache: replay (hit) and spill (fill-on-miss)
+    # ------------------------------------------------------------------
+    def _fill_eligible(self, packet: Packet, cache: "ResultCache") -> bool:
+        """Spill this host's output into the cache?  Only through an SPL
+        (a pull-model extra consumer is free for the producer; a FIFO
+        satellite would push copy costs onto its critical path), and only
+        once per signature at a time."""
+        if packet.exchange.kind != "spl":
+            return False
+        return cache.begin_fill(packet.signature)
+
+    def _replay_cached(self, packet: Packet, entry: "CacheEntry") -> Iterator[Any]:
+        """Worker for a cache hit: replay the materialized pages through
+        the packet's exchange at memory-read cost, then close."""
+        cost = self.engine.cost
+        exchange = packet.exchange
+        yield CPU(cost.cache_probe, "misc")
+        for batch in entry.batches:
+            yield CPU(cost.cache_replay_page, "misc")
+            yield cost.read(len(batch.rows), batch.weight)
+            yield from exchange.emit(Batch(list(batch.rows), batch.weight))
+        packet.mark_started()
+        exchange.close()
+        packet.finished = True
+
+    def _fill_cache(self, packet: Packet, cache: "ResultCache") -> Iterator[Any]:
+        """Worker for a fillable miss: one extra consumer on the host's
+        SPL accumulates its pages and commits them at completion.  A spill
+        that outgrows the per-entry bound is abandoned (pages are still
+        drained so the bounded SPL never blocks on the cache)."""
+        sim = self.engine.sim
+        cost = self.engine.cost
+        key = packet.signature
+        reader = packet.exchange.open_reader()
+        start = sim.now
+        row_bytes = max(packet.node.schema.row_bytes, 1.0)
+        batches: list[Batch] = []
+        nbytes = 0.0
+        abandoned = False
+        try:
+            while True:
+                batch = yield from reader.read()
+                if batch is END:
+                    break
+                if abandoned:
+                    continue
+                nbytes += len(batch.rows) * batch.weight * row_bytes
+                if not cache.fits_entry(nbytes):
+                    abandoned = True
+                    batches = []
+                    continue
+                yield CPU(cost.cache_store_page, "misc")
+                batches.append(Batch(list(batch.rows), batch.weight))
+            if not abandoned:
+                cache.admit(
+                    key,
+                    batches,
+                    nbytes,
+                    cost_seconds=sim.now - start,
+                    tables=referenced_tables(packet.node),
+                    stage=self.name,
+                )
+        finally:
+            cache.end_fill(key)
+
+    # ------------------------------------------------------------------
     def _sharing_label(self, packet: Packet) -> str:
         label = getattr(packet.node, "label", None)
         return f"{self.name}:{label}" if label else self.name
 
     def _record_sharing(self, packet: Packet) -> None:
         self.engine.sim.metrics.record_sharing(self._sharing_label(packet))
+
+    def _record_cache_hit(self, packet: Packet) -> None:
+        self.engine.sim.metrics.bump(f"result_cache_hit:{self._sharing_label(packet)}")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Stage {self.name} hosts={len(self._registry)}>"

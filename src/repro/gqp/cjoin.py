@@ -70,6 +70,7 @@ class _QueryState:
     __slots__ = (
         "packet",
         "slot",
+        "bit",
         "pages_left",
         "outstanding",
         "no_more_pages",
@@ -86,6 +87,7 @@ class _QueryState:
     def __init__(self, packet: "Packet", slot: int, pages_left: int):
         self.packet = packet
         self.slot = slot
+        self.bit = 1 << slot  # slot mask, hoisted out of the per-page loops
         self.pages_left = pages_left  # fact pages until the scan wraps to the entry point
         self.outstanding = 0  # addressed pages not yet distributed
         self.no_more_pages = False
@@ -136,6 +138,12 @@ class CJoinPipeline:
         cfg = engine.config
 
         self.filters: dict[str, Filter] = {}  # insertion-ordered chain
+        #: snapshot of the filter chain handed to every work item.  The
+        #: chain only changes during admission/retirement (pipeline paused),
+        #: so the preprocessor reuses one (list, position-map) pair instead
+        #: of rebuilding both for every fact page; work items must treat
+        #: them as read-only.
+        self._chain_snapshot: tuple[list[Filter], dict[str, int]] | None = None
         self.active: dict[int, _QueryState] = {}
         self.pending: list["Packet"] = []
         self.slots = SlotAllocator()
@@ -171,6 +179,15 @@ class CJoinPipeline:
         self.pending.append(packet)
         self._work.notify_all()
 
+    def _filter_chain(self) -> tuple[list[Filter], dict[str, int]]:
+        """The cached (chain, name->position) snapshot for work items."""
+        snap = self._chain_snapshot
+        if snap is None:
+            filters = list(self.filters.values())
+            snap = (filters, {name: i for i, name in enumerate(self.filters)})
+            self._chain_snapshot = snap
+        return snap
+
     # ------------------------------------------------------------------
     # Preprocessor
     # ------------------------------------------------------------------
@@ -202,18 +219,19 @@ class CJoinPipeline:
             mask = 0
             addressed: list[_QueryState] = []
             for state in addressable:
-                mask |= 1 << state.slot
+                mask |= state.bit
                 state.outstanding += 1
                 state.pages_left -= 1
                 if state.pages_left == 0:
                     state.no_more_pages = True  # wrapped to its point of entry
                 addressed.append(state)
+            filters, filter_pos = self._filter_chain()
             item = _WorkItem(
                 batch=page.to_batch(),
                 mask=mask,
                 addressed=addressed,
-                filters=list(self.filters.values()),
-                filter_pos={name: i for i, name in enumerate(self.filters)},
+                filters=filters,
+                filter_pos=filter_pos,
                 high_slots=max(self.slots.high_water, 1),
             )
             self.inflight += 1
@@ -360,8 +378,9 @@ class CJoinPipeline:
             # Every currently active query predates this filter, hence does
             # not reference it and must pass through freely.
             for state in self.active.values():
-                flt.pass_mask |= 1 << state.slot
+                flt.pass_mask |= state.bit
             self.filters[dimspec.dim_table] = flt
+            self._chain_snapshot = None  # chain grew: work items need a fresh snapshot
         return flt
 
     def _reclaim_retired_slots(self) -> Iterator[Any]:
@@ -386,8 +405,11 @@ class CJoinPipeline:
             if entries:
                 yield CPU(cost.admission_bitmap * entries * flt.weight, "joins")
         # Drop filters no longer referenced by any live query.
-        for name in [n for n, f in self.filters.items() if not f.referencing]:
+        dropped = [n for n, f in self.filters.items() if not f.referencing]
+        for name in dropped:
             del self.filters[name]
+        if dropped:
+            self._chain_snapshot = None
         self.slots.reclaim()
 
     # ------------------------------------------------------------------
@@ -491,16 +513,17 @@ class CJoinPipeline:
                 return
             w = item.batch.weight
             joined = item.joined
+            filter_pos = item.filter_pos
             for state in item.addressed:
-                bit = 1 << state.slot
+                bit = state.bit
+                pred = state.fact_pred
                 selected = [(row, dims) for row, bm, dims in joined if bm & bit]
-                if selected and state.fact_pred is not None:
+                if selected and pred is not None:
                     yield cost.predicate(len(selected), w, max(state.fact_pred_terms, 1))
-                    pred = state.fact_pred
                     selected = [(row, dims) for row, dims in selected if pred(row)]
                 if selected:
                     project = state.projector
-                    out = [project(row, dims, item.filter_pos) for row, dims in selected]
+                    out = [project(row, dims, filter_pos) for row, dims in selected]
                     yield cost.distribute(len(out), w)
                     if state.agg_groups is not None:
                         # Shared aggregation: fold into running sums instead

@@ -278,3 +278,21 @@ class CJoinNode(PlanNode):
             self.fact_payload,
             self.fact_predicate.signature if self.fact_predicate else None,
         )
+
+
+def referenced_tables(node: PlanNode) -> frozenset[str]:
+    """Names of every base table the sub-plan rooted at ``node`` reads.
+
+    The result cache records this per entry so an update to a table can
+    invalidate exactly the materialized results derived from it."""
+    names: set[str] = set()
+    stack: list[PlanNode] = [node]
+    while stack:
+        n = stack.pop()
+        if isinstance(n, ScanNode):
+            names.add(n.table.name)
+        elif isinstance(n, CJoinNode):
+            names.add(n.fact_table)
+            names.update(d.dim_table for d in n.dims)
+        stack.extend(n.children)
+    return frozenset(names)

@@ -134,6 +134,10 @@ class Query:
     submit_time: float | None = None
     finish_time: float | None = None
     results: list = field(default_factory=list)
+    #: True once any of this query's packets was served from the shared
+    #: result cache (set by the replaying stage; the service layer splits
+    #: latency reports on it)
+    cache_served: bool = False
 
     @property
     def response_time(self) -> float:

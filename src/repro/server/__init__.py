@@ -47,6 +47,7 @@ from repro.server.service import (
     QueryService,
     ServiceReport,
     job_factory,
+    recurring_job_factory,
     serve,
 )
 
@@ -73,6 +74,7 @@ __all__ = [
     "job_factory",
     "make_arrivals",
     "make_policy",
+    "recurring_job_factory",
     "serve",
     "spec_features",
 ]

@@ -40,6 +40,15 @@ class ServiceMetrics(Metrics):
     completed: int = 0
     #: completed queries per routing decision (e.g. "query-centric", "gqp")
     routed: dict[str, int] = field(default_factory=dict)
+    #: queries routed query-centric by the cache discount (a likely result-
+    #: cache hit bypasses the routing policy: it will replay, not recompute)
+    cache_routed: int = 0
+    #: end-to-end latency split: queries served from the result cache vs
+    #: computed -- the "hit-served" latency view of the cache's benefit
+    cache_hit_latencies: list[float] = field(default_factory=list)
+    cache_miss_latencies: list[float] = field(default_factory=list)
+    #: ResultCache.stats() snapshot, filled in after the run by serve()
+    cache_stats: dict[str, Any] = field(default_factory=dict)
 
     # -- recording ------------------------------------------------------
     def record_arrival(self) -> None:
@@ -59,9 +68,16 @@ class ServiceMetrics(Metrics):
         self.queue_waits.append(queue_wait)
         self.routed[route] = self.routed.get(route, 0) + 1
 
-    def record_completion(self, latency: float) -> None:
+    def record_cache_route(self) -> None:
+        self.cache_routed += 1
+
+    def record_completion(self, latency: float, cache_served: bool = False) -> None:
         self.completed += 1
         self.latencies.append(latency)
+        if cache_served:
+            self.cache_hit_latencies.append(latency)
+        else:
+            self.cache_miss_latencies.append(latency)
 
     # -- derived --------------------------------------------------------
     @property
@@ -81,6 +97,20 @@ class ServiceMetrics(Metrics):
         if not self.queue_waits:
             return {name: 0.0 for name, _ in REPORT_PERCENTILES}
         return {name: percentile(self.queue_waits, p) for name, p in REPORT_PERCENTILES}
+
+    def cache_latency_split(self) -> dict[str, dict[str, float]]:
+        """Hit-served vs computed latency percentiles (with counts)."""
+
+        def side(values: list[float]) -> dict[str, float]:
+            out: dict[str, float] = {"count": float(len(values))}
+            for name, p in REPORT_PERCENTILES:
+                out[name] = percentile(values, p) if values else 0.0
+            return out
+
+        return {
+            "hit_served": side(self.cache_hit_latencies),
+            "computed": side(self.cache_miss_latencies),
+        }
 
     def throughput(self, window: float) -> float:
         """Completed queries per second over ``window`` seconds."""
@@ -103,6 +133,11 @@ class ServiceMetrics(Metrics):
                 "routed": dict(self.routed),
             }
         )
+        if self.cache_stats or self.cache_routed or self.cache_hit_latencies:
+            cache = dict(self.cache_stats)
+            cache["routed_discount"] = self.cache_routed
+            cache["latency"] = self.cache_latency_split()
+            out["result_cache"] = cache
         if self.latencies:
             out["latency"]["mean"] = sum(self.latencies) / len(self.latencies)
             out["latency"]["max"] = max(self.latencies)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
 from repro.bench.workload import QueryJob
+from repro.cache import cached_query_centric_plan
 from repro.data.rng import make_rng
 from repro.engine.config import CJOIN_SP, QPIPE_SP
 from repro.engine.qpipe import QPipeEngine, QueryHandle
@@ -40,11 +41,47 @@ from repro.storage.manager import StorageConfig, StorageManager
 
 #: Workloads the service can synthesize (deterministic per-query RNG
 #: streams, so a served run replays exactly for any prefix length).
-SERVE_WORKLOADS = ("ssb-mix", "q32-random")
+#: ``recurring:<rate>`` additionally takes a template-recurrence rate in
+#: [0, 1]: that fraction of queries repeats one of a small fixed pool of
+#: Q3.2 templates (dashboards, canned reports), the rest are fresh random
+#: instances -- the workload knob the result-cache benchmark sweeps.
+SERVE_WORKLOADS = ("ssb-mix", "q32-random", "recurring:<rate>")
+
+#: Fixed template pool size of the ``recurring:<rate>`` workload.
+RECURRING_TEMPLATES = 4
+
+
+def recurring_job_factory(
+    seed: int, recurrence: float, n_templates: int = RECURRING_TEMPLATES
+) -> Callable[[int], QueryJob]:
+    """``k -> QueryJob`` where a ``recurrence`` fraction of queries repeats
+    one of ``n_templates`` fixed Q3.2 instances (identical specs, hence
+    identical plan signatures -- exactly what the result cache keys on)."""
+    if not 0.0 <= recurrence <= 1.0:
+        raise ValueError(f"recurrence rate must be in [0, 1], got {recurrence}")
+    templates = [
+        random_q32(make_rng(seed, "serve-template", i)) for i in range(n_templates)
+    ]
+
+    def make(k: int) -> QueryJob:
+        rng = make_rng(seed, "serve", k)
+        if rng.random() < recurrence:
+            return QueryJob(spec=templates[rng.randrange(len(templates))])
+        return QueryJob(spec=random_q32(rng))
+
+    return make
 
 
 def job_factory(workload: str, seed: int) -> Callable[[int], QueryJob]:
     """A ``k -> QueryJob`` factory for an unbounded served stream."""
+    if workload.startswith("recurring:"):
+        try:
+            recurrence = float(workload.split(":", 1)[1])
+        except ValueError:
+            raise ValueError(
+                f"bad recurring workload {workload!r}: expected 'recurring:<rate>'"
+            ) from None
+        return recurring_job_factory(seed, recurrence)
     if workload == "ssb-mix":
         makers = (random_q11, random_q21, random_q32)
 
@@ -167,15 +204,29 @@ class QueryService:
 
     def _submit(self, item: QueuedQuery) -> None:
         job = item.job
+        cached_plan = None
         if job.spec is None:
             # Explicit plans only run query-centric: the GQP evaluates
             # star-query joins (same rule as HybridEngine.submit_plan).
             route = QUERY_CENTRIC
         else:
-            route = self.policy.choose(job.spec, self._in_flight, self.queue.depth)
+            # Cache discount before the policy: a likely result-cache hit
+            # replays materialized pages at memory-read cost, so it stays
+            # query-centric instead of paying GQP admission -- and does not
+            # perturb the policy's pressure feedback (it adds ~no load).
+            cached_plan = cached_query_centric_plan(self.storage, job.spec)
+            if cached_plan is not None:
+                route = QUERY_CENTRIC
+                self.metrics.record_cache_route()
+            else:
+                route = self.policy.choose(job.spec, self._in_flight, self.queue.depth)
         engine = self.query_centric if route == QUERY_CENTRIC else self.gqp
         self.metrics.record_dispatch(self.sim.now - item.arrival_time, route)
-        if job.spec is not None:
+        if cached_plan is not None:
+            handle = engine.submit_plan(
+                cached_plan, label=job.label or job.spec.label, spec=job.spec
+            )
+        elif job.spec is not None:
             handle = engine.submit(job.spec, label=job.label or None)
         else:
             handle = engine.submit_plan(job.plan, label=job.label)
@@ -191,7 +242,7 @@ class QueryService:
         yield from handle.wait()
         self._in_flight -= 1
         latency = self.sim.now - item.arrival_time
-        self.metrics.record_completion(latency)
+        self.metrics.record_completion(latency, cache_served=handle.query.cache_served)
         self.policy.observe_completion(route, latency)
         self._slot_free.notify_one()
 
@@ -263,6 +314,14 @@ class ServiceReport:
         ]
         for route, n in sorted(m.routed.items()):
             rows.append([f"routed {route}", n])
+        if m.cache_stats:
+            split = m.cache_latency_split()
+            rows.append(["cache hits / misses", f"{m.cache_stats['hits']} / {m.cache_stats['misses']}"])
+            rows.append(["cache resident (bytes)", f"{m.cache_stats['resident_bytes']:.0f}"])
+            rows.append(["cache evictions", m.cache_stats["evictions"]])
+            rows.append(["cache routing discounts", m.cache_routed])
+            rows.append(["hit-served p95 (s)", f"{split['hit_served']['p95']:.3f}"])
+            rows.append(["computed p95 (s)", f"{split['computed']['p95']:.3f}"])
         return format_table(f"serve: {self.workload} ({self.policy})", ["metric", "value"], rows)
 
 
@@ -300,6 +359,8 @@ def serve(
     )
     service.run(jobs, arrivals, duration)
     sim = service.sim
+    if service.storage.result_cache is not None:
+        service.metrics.cache_stats = service.storage.result_cache.stats()
     window = max(sim.now, duration or 0.0) or 1.0
     return ServiceReport(
         policy=policy.name,

@@ -81,6 +81,15 @@ class CostModel:
     admission_pause: float = 4e-3  # seconds of full pipeline stall per batch
     admission_pause_per_filter: float = 1e-3  # extra stall per touched filter
 
+    # ---- shared result cache (repro.cache) ------------------------------
+    #: signature lookup on stage dispatch (hash of an interned plan tuple)
+    cache_probe: float = 5_000.0
+    #: replaying one cached page through an exchange: a memory read plus
+    #: list-cursor bookkeeping -- comparable to an SPL consumer advance
+    cache_replay_page: float = 8_000.0
+    #: copying one produced page into the cache store (fill consumer)
+    cache_store_page: float = 10_000.0
+
     # ---- packet / plan management --------------------------------------
     packet_dispatch: float = 400_000.0  # per packet: create+queue+teardown (cycles)
 

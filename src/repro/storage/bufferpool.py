@@ -70,12 +70,15 @@ class BufferPool:
             yield CPU(self.cost.bufferpool_page * 0.75, "scans")
             if ram_resident:
                 self.hits += 1
+                self.sim.metrics.bump("bufferpool_hits")
                 return page
             if key in self._resident:
                 self.hits += 1
+                self.sim.metrics.bump("bufferpool_hits")
                 self._resident.move_to_end(key)
                 return page
             self.misses += 1
+            self.sim.metrics.bump("bufferpool_misses")
         finally:
             self._latch.release()
         # I/O happens outside the latch (Shore-MT releases during fetch).

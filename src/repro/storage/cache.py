@@ -49,9 +49,11 @@ class OsPageCache:
         """Read a page through the cache (generator: may block on disk)."""
         if key in self._resident:
             self.hits += 1
+            self.sim.metrics.bump("os_cache_hits")
             self._resident.move_to_end(key)
             return
         self.misses += 1
+        self.sim.metrics.bump("os_cache_misses")
         yield IO(self.device, nbytes, sequential)
         self._insert(key, nbytes)
 

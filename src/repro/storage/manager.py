@@ -37,12 +37,21 @@ class StorageConfig:
     os_cache_bytes: float = 32 * GB
     direct_io: bool = False
     prefetch_window: int = 4
+    #: shared result cache budget in bytes; 0 disables the cache entirely
+    #: (the engines then behave byte-for-byte as before it existed)
+    result_cache_bytes: float = 0.0
+    #: eviction policy: 'lru' or 'benefit' (see repro.cache)
+    result_cache_policy: str = "benefit"
 
     def __post_init__(self) -> None:
         if self.resident not in ("memory", "disk"):
             raise ValueError("resident must be 'memory' or 'disk'")
         if self.prefetch_window < 0:
             raise ValueError("prefetch_window must be >= 0")
+        if self.result_cache_bytes < 0:
+            raise ValueError("result_cache_bytes must be >= 0")
+        if self.result_cache_policy not in ("lru", "benefit"):
+            raise ValueError("result_cache_policy must be 'lru' or 'benefit'")
 
 
 class StorageManager:
@@ -61,6 +70,17 @@ class StorageManager:
         self.config = config
         self.os_cache = OsPageCache(sim, config.os_cache_bytes)
         self.bufferpool = BufferPool(sim, cost, config.bufferpool_bytes, self.os_cache)
+        #: shared result cache (None when result_cache_bytes is 0).  It
+        #: lives here -- not on an engine -- because hybrid/service stacks
+        #: run two engines over one storage manager: a result filled by the
+        #: query-centric path must be visible to queries routed anywhere.
+        self.result_cache = None
+        if config.result_cache_bytes > 0:
+            from repro.cache import ResultCache  # deferred: cache imports storage
+
+            self.result_cache = ResultCache(
+                sim, config.result_cache_bytes, config.result_cache_policy
+            )
 
     # ------------------------------------------------------------------
     def table(self, name: str) -> Table:
@@ -75,6 +95,15 @@ class StorageManager:
 
     def total_real_bytes(self) -> float:
         return sum(t.real_bytes for t in self.tables.values())
+
+    def notify_update(self, table_name: str) -> int:
+        """A base table changed: invalidate every materialized result
+        derived from it.  Returns how many cache entries were dropped.
+        (Tables themselves are immutable in this simulator; the hook exists
+        so update-carrying workloads keep cached results consistent.)"""
+        if self.result_cache is None:
+            return 0
+        return self.result_cache.invalidate_table(table_name)
 
     # ------------------------------------------------------------------
     def read_page(self, table: Table, page_index: int, sequential: bool = True) -> Iterator[Any]:

@@ -1,0 +1,155 @@
+"""Cache-aware routing (hybrid engine + service layer) and run-for-run
+determinism of cache-enabled service runs."""
+
+import pytest
+
+from repro.data import generate_ssb
+from repro.engine.hybrid import HybridEngine
+from repro.query.ssb_queries import q32
+from repro.server.service import job_factory, recurring_job_factory, serve
+from repro.sim import Simulator
+from repro.sim.costmodel import DEFAULT_COST_MODEL
+from repro.sim.machine import MachineSpec
+from repro.storage import StorageConfig, StorageManager
+
+
+@pytest.fixture(scope="module")
+def ssb():
+    return generate_ssb(0.5, seed=23)
+
+
+def cache_config(mb=32.0, policy="benefit"):
+    return StorageConfig(
+        resident="memory",
+        result_cache_bytes=mb * 1024 * 1024,
+        result_cache_policy=policy,
+    )
+
+
+SPEC_ARGS = ("CHINA", "FRANCE", 1993, 1996)
+
+
+class TestHybridDiscount:
+    def test_likely_hit_stays_query_centric_at_saturation(self, ssb):
+        sim = Simulator(MachineSpec())
+        storage = StorageManager(sim, DEFAULT_COST_MODEL, ssb.tables, cache_config())
+        hybrid = HybridEngine(sim, storage, threshold=1)
+        hybrid.submit(q32(*SPEC_ARGS))  # below threshold: query-centric, fills
+        sim.run()
+        assert len(storage.result_cache) > 0
+        # Two back-to-back arrivals: the second sees in_flight >= threshold,
+        # but its plan is cached, so the discount keeps it query-centric.
+        hybrid.submit(q32("JAPAN", "BRAZIL", 1992, 1995))
+        h = hybrid.submit(q32(*SPEC_ARGS))
+        sim.run()
+        assert hybrid.routed["cache-discount"] == 1
+        assert hybrid.routed["gqp"] == 0
+        assert h.query.cache_served
+        assert sim.metrics.counts["hybrid_cache_discount"] == 1
+
+    def test_uncached_plan_still_goes_gqp(self, ssb):
+        sim = Simulator(MachineSpec())
+        storage = StorageManager(sim, DEFAULT_COST_MODEL, ssb.tables, cache_config())
+        hybrid = HybridEngine(sim, storage, threshold=1)
+        hybrid.submit(q32(*SPEC_ARGS))
+        h = hybrid.submit(q32("JAPAN", "BRAZIL", 1992, 1995))  # not cached
+        sim.run()
+        assert hybrid.routed["gqp"] == 1
+        assert "cache-discount" not in hybrid.routed
+        assert not h.query.cache_served
+
+    def test_no_cache_reproduces_plain_routing(self, ssb):
+        sim = Simulator(MachineSpec())
+        storage = StorageManager(
+            sim, DEFAULT_COST_MODEL, ssb.tables, StorageConfig(resident="memory")
+        )
+        hybrid = HybridEngine(sim, storage, threshold=1)
+        hybrid.submit(q32(*SPEC_ARGS))
+        hybrid.submit(q32(*SPEC_ARGS))
+        sim.run()
+        assert hybrid.routed == {"query-centric": 1, "gqp": 1}
+
+
+class TestServiceDiscount:
+    def test_recurring_stream_uses_discount_and_splits_latency(self, ssb):
+        report = serve(
+            ssb.tables,
+            policy="adaptive",
+            rate=8.0,
+            duration=4.0,
+            seed=1,
+            workload="recurring:0.5",
+            storage_config=cache_config(),
+        )
+        m = report.metrics
+        assert m.cache_stats["hits"] > 0
+        assert m.cache_routed > 0
+        assert len(m.cache_hit_latencies) > 0
+        assert len(m.cache_hit_latencies) + len(m.cache_miss_latencies) == m.completed
+        split = m.cache_latency_split()
+        assert split["hit_served"]["p95"] < split["computed"]["p95"]
+        out = m.to_dict()
+        assert out["result_cache"]["routed_discount"] == m.cache_routed
+
+    def test_cache_off_report_has_no_cache_section(self, ssb):
+        report = serve(
+            ssb.tables,
+            policy="adaptive",
+            rate=8.0,
+            duration=2.0,
+            seed=1,
+            workload="recurring:0.5",
+        )
+        assert report.metrics.cache_stats == {}
+        assert "result_cache" not in report.metrics.to_dict()
+
+
+class TestDeterminism:
+    def _run(self, ssb, **kwargs):
+        return serve(
+            ssb.tables,
+            policy="adaptive",
+            rate=8.0,
+            duration=3.0,
+            seed=7,
+            workload="recurring:0.5",
+            **kwargs,
+        )
+
+    def test_same_seed_same_metrics_with_cache(self, ssb):
+        a = self._run(ssb, storage_config=cache_config())
+        b = self._run(ssb, storage_config=cache_config())
+        assert a.metrics.to_dict(hz=a.machine_hz) == b.metrics.to_dict(hz=b.machine_hz)
+        assert a.sim_seconds == b.sim_seconds
+
+    def test_cache_off_matches_default_config(self, ssb):
+        # result_cache_bytes=0 must be byte-for-byte the pre-cache engine.
+        a = self._run(ssb)
+        b = self._run(ssb, storage_config=StorageConfig(resident="memory", result_cache_bytes=0.0))
+        assert a.metrics.to_dict(hz=a.machine_hz) == b.metrics.to_dict(hz=b.machine_hz)
+        assert a.sim_seconds == b.sim_seconds
+
+
+class TestRecurringWorkload:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            recurring_job_factory(1, 1.5)
+        with pytest.raises(ValueError, match="recurring"):
+            job_factory("recurring:x", 1)
+
+    def test_zero_rate_is_all_fresh(self):
+        jobs = job_factory("recurring:0.0", 3)
+        specs = [jobs(k).spec.signature for k in range(16)]
+        assert len(set(specs)) == len(specs)
+
+    def test_full_rate_draws_from_fixed_pool(self):
+        jobs = job_factory("recurring:1.0", 3)
+        specs = [jobs(k).spec.signature for k in range(32)]
+        assert len(set(specs)) <= 4
+
+    def test_factory_is_deterministic(self):
+        a = job_factory("recurring:0.5", 9)
+        b = job_factory("recurring:0.5", 9)
+        assert [a(k).spec.signature for k in range(20)] == [
+            b(k).spec.signature for k in range(20)
+        ]

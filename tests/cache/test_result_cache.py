@@ -1,0 +1,160 @@
+"""Unit tests for the shared result cache store: probe/fill bookkeeping,
+byte-budgeted eviction under both policies, table invalidation."""
+
+import pytest
+
+from repro.cache import CACHE_POLICIES, ResultCache
+from repro.sim import Simulator
+from repro.sim.machine import MachineSpec
+from repro.storage.page import Batch
+
+
+def make_cache(capacity=1000.0, policy="benefit", max_entry_fraction=0.5):
+    sim = Simulator(MachineSpec(cores=2))
+    return sim, ResultCache(sim, capacity, policy, max_entry_fraction)
+
+
+def entry_batches(n=1):
+    return [Batch([(i,)], weight=1.0) for i in range(n)]
+
+
+class TestConstruction:
+    def test_rejects_bad_capacity(self):
+        sim = Simulator(MachineSpec(cores=2))
+        with pytest.raises(ValueError):
+            ResultCache(sim, 0.0)
+        with pytest.raises(ValueError):
+            ResultCache(sim, -1.0)
+
+    def test_rejects_unknown_policy(self):
+        sim = Simulator(MachineSpec(cores=2))
+        with pytest.raises(ValueError, match="unknown cache policy"):
+            ResultCache(sim, 100.0, "fifo")
+
+    def test_policies_registry_matches(self):
+        for policy in CACHE_POLICIES:
+            sim, cache = make_cache(policy=policy)
+            assert cache.policy == policy
+
+
+class TestProbeAndFill:
+    def test_miss_then_hit(self):
+        sim, cache = make_cache()
+        key = ("sort", "x")
+        assert cache.probe(key) is None
+        assert cache.misses == 1
+        cache.admit(key, entry_batches(), 100.0, 0.5, frozenset({"t"}), "sort")
+        entry = cache.probe(key)
+        assert entry is not None
+        assert entry.hits == 1
+        assert cache.hits == 1
+        assert sim.metrics.counts["result_cache_hits"] == 1
+        assert sim.metrics.counts["result_cache_misses"] == 1
+
+    def test_contains_is_silent(self):
+        sim, cache = make_cache()
+        key = ("agg", "y")
+        cache.admit(key, entry_batches(), 10.0, 0.1, frozenset(), "aggregate")
+        assert cache.contains(key)
+        assert cache.contains_any([("other",), key])
+        assert not cache.contains_any([("other",)])
+        entry = cache._entries[key]
+        assert cache.hits == 0 and cache.misses == 0 and entry.hits == 0
+
+    def test_begin_fill_is_exclusive(self):
+        _, cache = make_cache()
+        key = ("join", "z")
+        assert cache.begin_fill(key)
+        assert not cache.begin_fill(key)  # a second identical host must not fill
+        cache.end_fill(key)
+        assert cache.begin_fill(key)
+
+    def test_oversized_entry_rejected(self):
+        sim, cache = make_cache(capacity=1000.0, max_entry_fraction=0.5)
+        assert not cache.fits_entry(501.0)
+        assert cache.fits_entry(500.0)
+        assert not cache.admit(("k",), entry_batches(), 501.0, 1.0, frozenset(), "sort")
+        assert cache.rejected == 1
+        assert len(cache) == 0
+
+    def test_readmit_replaces(self):
+        _, cache = make_cache()
+        key = ("sort", "x")
+        cache.admit(key, entry_batches(1), 100.0, 0.5, frozenset(), "sort")
+        cache.admit(key, entry_batches(3), 200.0, 0.7, frozenset(), "sort")
+        assert len(cache) == 1
+        assert cache.resident_bytes == 200.0
+
+
+class TestEviction:
+    def test_lru_evicts_least_recently_probed(self):
+        _, cache = make_cache(capacity=1000.0, policy="lru", max_entry_fraction=1.0)
+        cache.admit(("a",), entry_batches(), 400.0, 1.0, frozenset(), "sort")
+        cache.admit(("b",), entry_batches(), 400.0, 1.0, frozenset(), "sort")
+        cache.probe(("a",))  # "a" is now more recent than "b"
+        cache.admit(("c",), entry_batches(), 400.0, 1.0, frozenset(), "sort")
+        assert not cache.contains(("b",))
+        assert cache.contains(("a",)) and cache.contains(("c",))
+        assert cache.evictions == 1
+
+    def test_benefit_evicts_cheapest_per_byte(self):
+        _, cache = make_cache(capacity=1000.0, policy="benefit", max_entry_fraction=1.0)
+        # "cheap" is large and cost little to make; "dear" is small and slow.
+        cache.admit(("cheap",), entry_batches(), 400.0, 0.01, frozenset(), "sort")
+        cache.admit(("dear",), entry_batches(), 100.0, 5.0, frozenset(), "sort")
+        cache.admit(("new",), entry_batches(), 600.0, 1.0, frozenset(), "sort")
+        assert not cache.contains(("cheap",))
+        assert cache.contains(("dear",))
+
+    def test_benefit_weighs_observed_reuse(self):
+        _, cache = make_cache(capacity=1000.0, policy="benefit", max_entry_fraction=1.0)
+        # Equal cost and size: the probed entry must survive the unprobed.
+        cache.admit(("cold",), entry_batches(), 400.0, 1.0, frozenset(), "sort")
+        cache.admit(("hot",), entry_batches(), 400.0, 1.0, frozenset(), "sort")
+        for _ in range(3):
+            cache.probe(("hot",))
+        cache.admit(("new",), entry_batches(), 400.0, 1.0, frozenset(), "sort")
+        assert cache.contains(("hot",))
+        assert not cache.contains(("cold",))
+
+    def test_eviction_keeps_budget(self):
+        _, cache = make_cache(capacity=1000.0, max_entry_fraction=1.0)
+        for i in range(10):
+            cache.admit((i,), entry_batches(), 300.0, 1.0, frozenset(), "sort")
+        assert cache.resident_bytes <= 1000.0
+        assert len(cache) == 3
+
+
+class TestInvalidation:
+    def test_invalidate_by_table(self):
+        sim, cache = make_cache()
+        cache.admit(("a",), entry_batches(), 10.0, 1.0, frozenset({"lineorder", "date"}), "sort")
+        cache.admit(("b",), entry_batches(), 10.0, 1.0, frozenset({"part"}), "sort")
+        assert cache.invalidate_table("lineorder") == 1
+        assert not cache.contains(("a",))
+        assert cache.contains(("b",))
+        assert cache.invalidated == 1
+        assert cache.resident_bytes == 10.0
+        assert cache.invalidate_table("lineorder") == 0
+
+    def test_clear(self):
+        _, cache = make_cache()
+        cache.admit(("a",), entry_batches(), 10.0, 1.0, frozenset(), "sort")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.resident_bytes == 0.0
+
+
+class TestStats:
+    def test_stats_snapshot(self):
+        _, cache = make_cache(capacity=500.0, policy="lru")
+        cache.admit(("a",), entry_batches(), 10.0, 1.0, frozenset(), "sort")
+        cache.probe(("a",))
+        cache.probe(("b",))
+        stats = cache.stats()
+        assert stats["policy"] == "lru"
+        assert stats["capacity_bytes"] == 500.0
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["insertions"] == 1

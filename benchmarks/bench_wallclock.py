@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark of the harness itself: row-at-a-time vs vectorized.
+
+Times fixed seeded workloads twice -- once with the fast path disabled
+(per-row closures, one simulator event per CPU charge) and once enabled
+(batch kernels + fused charges) -- and writes the before/after numbers to
+``BENCH_wallclock.json`` at the repo root.  Simulated results are
+bit-identical either way (tests/engine/test_golden_determinism.py); this
+benchmark measures only how fast the *host* machine gets them.
+
+Usage::
+
+    python benchmarks/bench_wallclock.py          # default settings
+    python benchmarks/bench_wallclock.py --fast   # CI smoke (small sweeps)
+
+Exits non-zero only on crash or on a simulated-results mismatch between the
+two modes; the speedup threshold is warn-only (host machines vary)."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.experiments import fig10_concurrency, fig13_scale_factor
+from repro.bench.runner import POSTGRES, run_batch
+from repro.bench.workload import q32_random_workload
+from repro.data import generate_ssb
+from repro.engine.config import CJOIN, CJOIN_SP, QPIPE_SP, fast_path
+from repro.storage.manager import StorageConfig
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = ROOT / "BENCH_wallclock.json"
+
+ENGINES = {
+    "QPipe-SP": QPIPE_SP,
+    "CJOIN": CJOIN,
+    "CJOIN-SP": CJOIN_SP,
+    "Postgres": POSTGRES,
+}
+
+
+def _timed(fn, reps: int = 1):
+    """Best-of-``reps`` wall-clock time (the run is deterministic, so the
+    minimum is the cleanest estimate on a loaded host)."""
+    best = None
+    out = None
+    for _ in range(max(reps, 1)):
+        t0 = time.perf_counter()
+        out = fn()
+        dt = time.perf_counter() - t0
+        if best is None or dt < best:
+            best = dt
+    return best, out
+
+
+def _engine_fingerprint(result) -> dict:
+    """Simulated measurements that must not depend on the fast path."""
+    return {
+        "sim_seconds": result.sim_seconds,
+        "response_times": result.response_times,
+        "cpu_breakdown": result.cpu_breakdown,
+    }
+
+
+def bench_engines(n: int, sf: float, seed: int, reps: int = 1) -> dict:
+    """One batch of ``n`` random Q3.2 instances per engine, both modes."""
+    ds = generate_ssb(sf, seed)
+    workload = q32_random_workload(n, seed)
+    storage = StorageConfig(resident="memory")
+    out = {}
+    for name, config in ENGINES.items():
+        with fast_path(batch_kernels=False, fuse_charges=False):
+            before_s, before = _timed(
+                lambda: run_batch(ds.tables, config, workload, storage), reps
+            )
+        with fast_path(batch_kernels=True, fuse_charges=True):
+            after_s, after = _timed(
+                lambda: run_batch(ds.tables, config, workload, storage), reps
+            )
+        if _engine_fingerprint(before) != _engine_fingerprint(after):
+            raise SystemExit(
+                f"SIMULATED RESULTS DIVERGED for {name}: the fast path "
+                "changed ticks or charges -- this is a bug, not a perf issue"
+            )
+        out[name] = {
+            "n_queries": n,
+            "before_s": round(before_s, 3),
+            "after_s": round(after_s, 3),
+            "speedup": round(before_s / after_s, 2) if after_s else None,
+        }
+    return out
+
+
+def bench_experiment(name: str, fn, reps: int = 1) -> dict:
+    """One full paper experiment (its default settings), both modes."""
+    with fast_path(batch_kernels=False, fuse_charges=False):
+        before_s, _ = _timed(fn, reps)
+    with fast_path(batch_kernels=True, fuse_charges=True):
+        after_s, _ = _timed(fn, reps)
+    return {
+        "before_s": round(before_s, 1),
+        "after_s": round(after_s, 1),
+        "speedup": round(before_s / after_s, 2) if after_s else None,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="small sweeps for CI smoke (minutes -> seconds)")
+    parser.add_argument("--out", type=pathlib.Path, default=OUT_PATH,
+                        help=f"output path (default {OUT_PATH.name} at repo root)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="repetitions per timing (best-of-N; default 2, "
+                             "1 with --fast)")
+    args = parser.parse_args(argv)
+    reps = args.reps if args.reps is not None else (1 if args.fast else 2)
+
+    report: dict = {
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "mode": "fast" if args.fast else "default",
+        },
+        "engines": {},
+        "experiments": {},
+    }
+
+    report["host"]["reps"] = reps
+    if args.fast:
+        report["engines"] = bench_engines(n=16, sf=0.5, seed=42, reps=reps)
+        report["experiments"]["fig10_concurrency"] = bench_experiment(
+            "fig10", lambda: fig10_concurrency(
+                concurrency=(1, 8), sf=0.5, resident=("memory",)),
+            reps,
+        )
+        report["experiments"]["fig13_scale_factor"] = bench_experiment(
+            "fig13", lambda: fig13_scale_factor(scale_factors=(0.5,), n_queries=4),
+            reps,
+        )
+    else:
+        report["engines"] = bench_engines(n=64, sf=1.0, seed=42, reps=reps)
+        report["experiments"]["fig10_concurrency"] = bench_experiment(
+            "fig10", fig10_concurrency, reps
+        )
+        report["experiments"]["fig13_scale_factor"] = bench_experiment(
+            "fig13", fig13_scale_factor, reps
+        )
+
+    args.out.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+
+    print(f"wrote {args.out}")
+    width = max(len(k) for k in {**report["engines"], **report["experiments"]})
+    for section in ("engines", "experiments"):
+        for name, cell in report[section].items():
+            print(f"  {name:<{width}}  before {cell['before_s']:>8}s"
+                  f"  after {cell['after_s']:>8}s  speedup {cell['speedup']}x")
+    slow = [
+        name
+        for section in ("engines", "experiments")
+        for name, cell in report[section].items()
+        if (cell["speedup"] or 0) < 2.0
+    ]
+    if slow:
+        # Warn-only: host load varies, and the determinism tests are the
+        # real gate.  CI fails only on crash or simulated-result divergence.
+        print(f"WARNING: speedup below 2x for: {', '.join(slow)}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING, Any, Iterator
 
+from repro.engine.config import batch_kernels_default, fuse_charges_default
 from repro.engine.qpipe import QueryHandle
 from repro.query.plan import (
     AggregateNode,
@@ -25,7 +26,7 @@ from repro.query.plan import (
     SortNode,
 )
 from repro.query.star import Query, StarQuerySpec
-from repro.sim.commands import CPU
+from repro.sim.commands import CPU, CPU_FUSED
 from repro.sim.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.sim.sync import Gate
 
@@ -121,36 +122,53 @@ class VolcanoEngine:
             return rows, table.row_weight
         if isinstance(node, SelectNode):
             rows, w = yield from self._eval(node.child)
-            pred = node.predicate.compile(node.child.schema)
             yield cost.predicate(len(rows), w, max(node.predicate.terms, 1))
+            if batch_kernels_default():
+                kernel = node.predicate.compile_batch(node.child.schema)
+                return kernel(rows), w
+            pred = node.predicate.compile(node.child.schema)
             return [r for r in rows if pred(r)], w
         if isinstance(node, HashJoinNode):
             build_rows, bw = yield from self._eval(node.build)
             table: dict[Any, list[tuple]] = {}
             bkey = node.build.schema.index(node.build_key)
             if build_rows:
-                yield cost.hashing(len(build_rows), bw)
-                yield cost.build(len(build_rows), bw)
+                if fuse_charges_default():
+                    yield CPU_FUSED(cost.hashing(len(build_rows), bw), cost.build(len(build_rows), bw))
+                else:
+                    yield cost.hashing(len(build_rows), bw)
+                    yield cost.build(len(build_rows), bw)
+                setdefault = table.setdefault
                 for r in build_rows:
-                    table.setdefault(r[bkey], []).append(r)
+                    setdefault(r[bkey], []).append(r)
             probe_rows, w = yield from self._eval(node.probe)
             pkey = node.probe.schema.index(node.probe_key)
-            out: list[tuple] = []
             get = table.get
-            for r in probe_rows:
-                for m in get(r[pkey], ()):
-                    out.append(r + m)
+            out = [r + m for r in probe_rows for m in get(r[pkey], ())]
+            cmds = []
             if probe_rows:
-                yield cost.hashing(len(probe_rows), w, equals=len(out))
-                yield cost.probe(len(probe_rows), w)
+                cmds.append(cost.hashing(len(probe_rows), w, equals=len(out)))
+                cmds.append(cost.probe(len(probe_rows), w))
             if out:
-                yield cost.emit_join(len(out), w)
+                cmds.append(cost.emit_join(len(out), w))
+            if cmds:
+                if fuse_charges_default():
+                    yield CPU_FUSED(*cmds)
+                else:
+                    for cmd in cmds:
+                        yield cmd
             return out, w
         if isinstance(node, AggregateNode):
             rows, w = yield from self._eval(node.child)
             if rows:
-                yield CPU(cost.hash_func * len(rows) * w, "aggregation")
-                yield cost.aggregate(len(rows), w, functions=len(node.aggregates))
+                if fuse_charges_default():
+                    yield CPU_FUSED(
+                        CPU(cost.hash_func * len(rows) * w, "aggregation"),
+                        cost.aggregate(len(rows), w, functions=len(node.aggregates)),
+                    )
+                else:
+                    yield CPU(cost.hash_func * len(rows) * w, "aggregation")
+                    yield cost.aggregate(len(rows), w, functions=len(node.aggregates))
             from repro.baselines.reference import _aggregate
 
             return _aggregate(node, rows, w, node.child.schema), 1.0

@@ -315,6 +315,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shared result cache budget in MB (0 disables)")
     p_run.add_argument("--cache-policy", choices=("lru", "benefit"), default="benefit",
                        help="result-cache eviction policy (see: repro list)")
+    p_run.add_argument("--profile", action="store_true",
+                       help="cProfile the run and print the hottest functions")
     p_run.set_defaults(fn=cmd_run)
 
     p_query = sub.add_parser("query", help="run one SSB query and print its rows")
@@ -362,6 +364,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--cache-policy", choices=("lru", "benefit"), default="benefit",
                          help="result-cache eviction policy (see: repro list)")
     p_serve.add_argument("--json", action="store_true", help="dump the report as JSON")
+    p_serve.add_argument("--profile", action="store_true",
+                         help="cProfile the run and print the hottest functions")
     p_serve.set_defaults(fn=cmd_serve)
 
     p_list = sub.add_parser("list", help="list configurations, workloads, experiments")
@@ -370,8 +374,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_profiled(fn, top: int = 25) -> int:
+    """Run ``fn`` under cProfile and print the hottest functions (the
+    simulator is pure Python: knowing where wall-clock goes is how the
+    vectorized data plane and fused charges were found)."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    rc = profiler.runcall(fn)
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    stats.sort_stats("tottime").print_stats(top)
+    print(f"\n--- cProfile summary (top {top} by cumulative, then total time) ---")
+    print(stream.getvalue())
+    return rc
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "profile", False):
+        return _run_profiled(lambda: args.fn(args))
     return args.fn(args)
 
 

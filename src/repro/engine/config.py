@@ -20,6 +20,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+# Fast-path defaults (the vectorized data plane and the simulator's fused
+# CPU charges).  Both are *wall-clock* optimizations: simulated results are
+# bit-identical either way (tests/engine/test_golden_determinism.py holds
+# them to that).  They live in repro.sim.fastpath (the simulator consults
+# fuse_charges itself); re-exported here because engine code and benchmarks
+# treat them as engine configuration.
+from repro.sim.fastpath import (  # noqa: F401  (re-exports)
+    batch_kernels_default,
+    fast_path,
+    fuse_charges_default,
+)
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -73,6 +85,19 @@ class EngineConfig:
     #: buffer pool already holds base pages); 'join' may be opted in, at
     #: the price of spilling potentially fact-sized intermediate results.
     result_cache_stages: tuple[str, ...] = ("aggregate", "sort", "cjoin")
+    #: wall-clock fast paths (None = follow the module-level default; see
+    #: ``fast_path`` above).  ``batch_kernels`` routes per-row hot loops
+    #: through ``Expr.compile_batch`` vectorized kernels; ``fuse_charges``
+    #: lets workers yield fused CPU commands (one event per charge *group*).
+    #: Neither changes a single simulated tick.
+    batch_kernels: bool | None = None
+    fuse_charges: bool | None = None
+
+    def use_batch_kernels(self) -> bool:
+        return batch_kernels_default() if self.batch_kernels is None else self.batch_kernels
+
+    def use_fuse_charges(self) -> bool:
+        return fuse_charges_default() if self.fuse_charges is None else self.fuse_charges
 
     def __post_init__(self) -> None:
         if self.comm not in ("spl", "fifo"):

@@ -95,7 +95,13 @@ class QPipeEngine:
     # ------------------------------------------------------------------
     def new_exchange(self, name: str) -> Any:
         if self.config.comm == "spl":
-            return SplExchange(self.sim, self.cost, self.config.spl_max_pages, name)
+            return SplExchange(
+                self.sim,
+                self.cost,
+                self.config.spl_max_pages,
+                name,
+                fuse=self.config.use_fuse_charges(),
+            )
         return FifoExchange(self.sim, self.cost, self.config.fifo_capacity, name)
 
     # ------------------------------------------------------------------
@@ -195,7 +201,14 @@ class QPipeEngine:
         inner, predicate = unwrap_selects(child)
         child_packet = self._build(inner, query)
         reader = child_packet.connect(budget=self._budget_for(inner))
-        return FilteredInput(reader, self.cost, predicate, inner.schema)
+        return FilteredInput(
+            reader,
+            self.cost,
+            predicate,
+            inner.schema,
+            batch=self.config.use_batch_kernels(),
+            fuse=self.config.use_fuse_charges(),
+        )
 
     # ------------------------------------------------------------------
     def sharing_summary(self) -> dict[str, int]:

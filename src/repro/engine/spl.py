@@ -25,7 +25,7 @@ from __future__ import annotations
 import itertools
 from typing import TYPE_CHECKING, Any, Iterator
 
-from repro.sim.commands import CPU
+from repro.sim.commands import BLOCK, CPU, CPU_FUSED
 from repro.sim.sync import Condition, Lock
 from repro.storage.page import Batch
 
@@ -49,7 +49,17 @@ class _SplPage:
 class SplConsumer:
     """One consumer's cursor into an SPL."""
 
-    __slots__ = ("spl", "next_seq", "addressed", "read_count", "budget", "closed_for_new", "entry_seq")
+    __slots__ = (
+        "spl",
+        "next_seq",
+        "addressed",
+        "read_count",
+        "budget",
+        "closed_for_new",
+        "entry_seq",
+        "deferred",
+        "lock_prepaid",
+    )
 
     def __init__(self, spl: "SharedPagesList", entry_seq: int, budget: int | None):
         self.spl = spl
@@ -59,10 +69,44 @@ class SplConsumer:
         self.read_count = 0
         self.budget = budget  # pages still to be addressed; None = unbounded
         self.closed_for_new = budget == 0
+        self.deferred = False  # read charges handed to the caller to fuse
+        self.lock_prepaid = False  # next read's lock charge already metered
 
     def read(self) -> Iterator[Any]:
-        batch = yield from self.spl.read(self)
-        return batch
+        # Plain call returning the SPL's generator: ``yield from`` drives it
+        # identically, without an extra delegating frame per page read.
+        return self.spl.read(self)
+
+    def defer_read_charge(self):
+        """Opt this consumer into *deferred* per-page read charges (fast
+        mode only).  ``read`` then returns each page without yielding its
+        ``spl_read_page`` charge; the caller must fuse the returned command
+        in front of the very next CPU charge it yields after every
+        successful (non-END) read -- everything in between must be pure
+        computation, so the fused parts complete at exactly the instants
+        the separate yields would have.  Returns None (and changes
+        nothing) when the SPL is not in fused mode."""
+        spl = self.spl
+        if spl.fuse and spl._read_charge.cycles > 0:
+            self.deferred = True
+            return spl._read_charge
+        return None
+
+    def prepay_lock_charge(self):
+        """Fast mode: the lock charge of this consumer's *next* ``read``
+        may be fused as the last part of the command the caller yields
+        right before that read -- ``take_or_enqueue`` still runs at the
+        charge's completion instant, and only pure computation separates
+        the two.  Returns the lock charge to fuse, or None when
+        unavailable.  The caller must set ``lock_prepaid`` each time it
+        actually fuses the charge, and must keep reading until END (the
+        END-returning read consumes the final prepaid charge, exactly as
+        the unfused read would have paid it)."""
+        spl = self.spl
+        charge = spl._lock.charge_cmd
+        if spl.fuse and charge is not None and charge.cycles > 0:
+            return charge
+        return None
 
 
 class SharedPagesList:
@@ -78,6 +122,7 @@ class SharedPagesList:
         cost: "CostModel",
         max_pages: int,
         name: str | None = None,
+        fuse: bool = False,
     ):
         if max_pages < 1:
             raise ValueError("max_pages must be >= 1")
@@ -93,6 +138,25 @@ class SharedPagesList:
         self._not_empty = Condition(sim, f"{self.name}.ne")
         self._not_full = Condition(sim, f"{self.name}.nf")
         self.pages_emitted = 0
+        # Fixed-cost charges built once; read/emit yield these cached
+        # (immutable) instances instead of constructing one per page.
+        self._emit_charge = CPU(cost.spl_emit_page, "misc")
+        self._read_charge = CPU(cost.spl_read_page, "misc")
+        #: fast mode (``fuse_charges``): yield the emit and lock charges as
+        #: one fused command, and let consumers defer their read charge
+        #: into the next command they yield.  Neither moves a charge to a
+        #: different simulated instant (fused parts are metered and
+        #: completed exactly like the separate yields), so both modes
+        #: produce bit-identical results.  Zero-cost charges stay unfused:
+        #: a zero-cycle *command* resumes through the event heap while a
+        #: zero-cycle fused *part* would ride the pool, which could order
+        #: differently against same-instant events.
+        self.fuse = bool(fuse)
+        self._emit_lock_charge = (
+            CPU_FUSED(self._emit_charge, self._lock.charge_cmd)
+            if fuse and cost.spl_emit_page > 0 and self._lock.charge_cmd is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -116,18 +180,49 @@ class SharedPagesList:
         return consumer
 
     # ------------------------------------------------------------------
-    def emit(self, batch: Batch) -> Iterator[Any]:
+    def emit(self, batch: Batch, lead=None) -> Iterator[Any]:
         """Producer: append one page.  Blocks while the list is at its
-        maximum size.  The producer pays only its own append cost."""
+        maximum size.  The producer pays only its own append cost.
+
+        ``lead`` (fast mode) is an extra CPU charge the producer wants
+        metered immediately before the emit charge -- e.g. a scan's
+        per-page cycles.  It is fused in front of the emit+lock command,
+        which is legal because the producer does nothing observable
+        between those yields."""
         if self._producer_done:
             raise RuntimeError(f"emit on closed SPL {self.name!r}")
-        yield CPU(self.cost.spl_emit_page, "misc")
-        yield from self._lock.acquire()
+        lock = self._lock
+        me = self.sim.current
+        fused = self._emit_lock_charge
+        if fused is not None:
+            # Fast mode: emit charge + lock charge (+ optional lead) in one
+            # command; each part completes at the exact instant its
+            # separate yield would have, and ``take_or_enqueue`` still runs
+            # at the lock charge's completion instant.
+            yield CPU_FUSED(lead, fused) if lead is not None else fused
+            if not lock.take_or_enqueue(me):
+                yield BLOCK
+                lock.confirm_after_block(me)
+        else:
+            if lead is not None:
+                yield lead
+            yield self._emit_charge
+            # Inline lock protocol (one emit per page is a hot path); the
+            # yielded commands are exactly ``yield from self._lock.acquire()``.
+            if lock.charge_cmd is not None:
+                yield lock.charge_cmd
+            if not lock.take_or_enqueue(me):
+                yield BLOCK
+                lock.confirm_after_block(me)
         try:
             while len(self._pages) >= self.max_pages:
-                self._lock.release()
+                lock.release()
                 yield from self._not_full.wait()
-                yield from self._lock.acquire()
+                if lock.charge_cmd is not None:
+                    yield lock.charge_cmd
+                if not lock.take_or_enqueue(me):
+                    yield BLOCK
+                    lock.confirm_after_block(me)
             active = [c for c in self._consumers if not c.closed_for_new]
             if active:
                 self._pages[self._head_seq] = _SplPage(batch, len(active))
@@ -151,9 +246,29 @@ class SharedPagesList:
 
     # ------------------------------------------------------------------
     def read(self, consumer: SplConsumer) -> Iterator[Any]:
-        """Consumer: fetch the next page addressed to it, or END."""
+        """Consumer: fetch the next page addressed to it, or END.
+
+        The lock protocol is inlined (a consumer takes the lock once per
+        page); the yielded command sequence is exactly what
+        ``yield from self._lock.acquire()`` would produce."""
+        lock = self._lock
+        charge = lock.charge_cmd
+        me = self.sim.current
+        if consumer.lock_prepaid:
+            # Fast mode: the caller fused this read's lock charge into its
+            # previous command (see ``prepay_lock_charge``); it completed
+            # at this very instant, so go straight to the acquisition.
+            consumer.lock_prepaid = False
+            prepaid = True
+        else:
+            prepaid = False
         while True:
-            yield from self._lock.acquire()
+            if charge is not None and not prepaid:
+                yield charge
+            prepaid = False
+            if not lock.take_or_enqueue(me):
+                yield BLOCK
+                lock.confirm_after_block(me)
             if consumer.read_count < consumer.addressed:
                 page = self._pages[consumer.next_seq]
                 batch = page.batch
@@ -163,11 +278,15 @@ class SharedPagesList:
                     self._not_full.notify_all()
                 consumer.next_seq += 1
                 consumer.read_count += 1
-                self._lock.release()
-                yield CPU(self.cost.spl_read_page, "misc")
+                lock.release()
+                if consumer.deferred:
+                    # Fast mode: the caller fuses the read charge in front
+                    # of its next yield (see ``defer_read_charge``).
+                    return batch
+                yield self._read_charge
                 return batch
             done = consumer.closed_for_new or self._producer_done
-            self._lock.release()
+            lock.release()
             if done:
                 return END
             yield from self._not_empty.wait()
@@ -178,8 +297,10 @@ class SplExchange:
 
     kind = "spl"
 
-    def __init__(self, sim: "Simulator", cost: "CostModel", max_pages: int, name: str):
-        self.spl = SharedPagesList(sim, cost, max_pages, name)
+    def __init__(
+        self, sim: "Simulator", cost: "CostModel", max_pages: int, name: str, fuse: bool = False
+    ):
+        self.spl = SharedPagesList(sim, cost, max_pages, name, fuse=fuse)
         self.name = name
 
     @property
@@ -199,8 +320,9 @@ class SplExchange:
             raise RuntimeError(f"open_reader on closed exchange {self.name!r}")
         return self.spl.register(budget)
 
-    def emit(self, batch: Batch) -> Iterator[Any]:
-        yield from self.spl.emit(batch)
+    def emit(self, batch: Batch, lead=None) -> Iterator[Any]:
+        # Plain call returning the SPL's generator (no delegating frame).
+        return self.spl.emit(batch, lead)
 
     def close(self) -> None:
         self.spl.close()

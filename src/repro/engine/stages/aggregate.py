@@ -8,7 +8,9 @@ from __future__ import annotations
 
 from typing import Any, Iterator
 
-from repro.sim.commands import CPU
+import operator
+
+from repro.sim.commands import CPU, CPU_FUSED
 from repro.engine.exchange import END
 from repro.engine.packet import Packet
 from repro.engine.stage import Stage
@@ -61,22 +63,52 @@ class AggregateStage(Stage):
         specs = node.aggregates
         nspecs = len(specs)
         groups: dict[tuple, _Accumulator] = {}
+        fuse = self.engine.config.use_fuse_charges()
+        # Group-key extraction hoisted out of the per-row loop; keys stay
+        # tuples (out_rows concatenates them) even for a single column.
+        if len(group_idx) > 1:
+            key_of = operator.itemgetter(*group_idx)
+        elif group_idx:
+            _gi = group_idx[0]
+            key_of = lambda r, _gi=_gi: (r[_gi],)  # noqa: E731
+        else:
+            key_of = lambda r: ()  # noqa: E731
+        get_group = groups.get
 
         while True:
-            batch = yield from child_input.read()
+            # Fast mode: the input hands back its per-batch charge so it
+            # rides in front of our aggregation charge (see join._work).
+            if fuse:
+                batch, fc = yield from child_input.read_fused()
+            else:
+                batch = yield from child_input.read()
+                fc = None
             if batch is END:
                 break
             rows = batch.rows
             if not rows:
+                if fc is not None:
+                    yield child_input.fuse_next_lock(fc)
                 continue
             n, w = len(rows), batch.weight
             # Group-table hashing counts as aggregation work (the paper's
             # "Hashing" bucket covers hash-join hash()/equal() only).
-            yield CPU(cost.hash_func * n * w, "aggregation")
-            yield cost.aggregate(n, w, functions=nspecs)
+            if fuse:
+                hash_cmd = CPU(cost.hash_func * n * w, "aggregation")
+                agg_cmd = cost.aggregate(n, w, functions=nspecs)
+                if fc is not None:
+                    cmd = CPU_FUSED(fc, hash_cmd, agg_cmd)
+                else:
+                    cmd = CPU_FUSED(hash_cmd, agg_cmd)
+                # Accumulation is pure computation; nothing is emitted
+                # until END, so the next read's lock charge rides along.
+                yield child_input.fuse_next_lock(cmd)
+            else:
+                yield CPU(cost.hash_func * n * w, "aggregation")
+                yield cost.aggregate(n, w, functions=nspecs)
             for r in rows:
-                key = tuple(r[i] for i in group_idx)
-                acc = groups.get(key)
+                key = key_of(r)
+                acc = get_group(key)
                 if acc is None:
                     acc = groups[key] = _Accumulator(nspecs)
                 # ``w`` rows of real data stand behind each generated row:

@@ -5,7 +5,15 @@ consuming operator reads its input through a :class:`FilteredInput`, which
 charges the consumer's per-tuple read cost and -- when the input was wrapped
 in SelectNodes -- evaluates the fused predicate, charging per predicate
 term.  Keeping predicate evaluation on the *consumer* side is what lets a
-raw circular scan be shared by queries with different predicates."""
+raw circular scan be shared by queries with different predicates.
+
+Selection runs through the predicate's batch kernel
+(:meth:`repro.query.expr.Expr.compile_batch`) -- one call per batch instead
+of one closure call per row -- and the read + predicate cycle charges are
+fused into a single simulator event.  Both are pure wall-clock
+optimizations: the selected rows, the charged cycles, and every simulated
+tick are identical to the row-at-a-time path (``batch=False``,
+``fuse=False``)."""
 
 from __future__ import annotations
 
@@ -14,6 +22,7 @@ from typing import TYPE_CHECKING, Any, Iterator
 from repro.engine.exchange import END
 from repro.query.expr import And, Expr
 from repro.query.plan import PlanNode, SelectNode
+from repro.sim.commands import CPU_FUSED
 from repro.storage.page import Batch
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -40,25 +49,105 @@ class FilteredInput:
         predicate: Expr | None,
         schema,
         charge_read: bool = True,
+        batch: bool = True,
+        fuse: bool = True,
     ):
         self.reader = reader
         self.cost = cost
         self.schema = schema
         self.charge_read = charge_read
+        self.fuse = fuse
         self.terms = predicate.terms if predicate is not None else 0
-        self._pred = predicate.compile(schema) if predicate is not None else None
+        # Fast mode: an SPL reader hands us its per-page read charge to
+        # fuse in front of whatever we yield next (everything between is
+        # pure computation, so the fused parts complete at exactly the
+        # instants the separate yields would have).
+        self._deferred_charge = None
+        self._lock_prepay = None
+        if fuse and hasattr(reader, "defer_read_charge"):
+            self._deferred_charge = reader.defer_read_charge()
+            self._lock_prepay = reader.prepay_lock_charge()
+        if predicate is None:
+            self._pred = None
+            self._kernel = None
+        elif batch:
+            self._pred = None
+            self._kernel = predicate.compile_batch(schema)
+        else:
+            pred = predicate.compile(schema)
+            self._pred = pred
+            self._kernel = lambda rows: [r for r in rows if pred(r)]
 
     def read(self) -> Iterator[Any]:
         """Next (filtered) batch, or END."""
         batch = yield from self.reader.read()
         if batch is END:
             return END
+        rc = self._deferred_charge
         n = len(batch.rows)
-        if self.charge_read and n:
-            yield self.cost.read(n, batch.weight)
-        if self._pred is None or n == 0:
+        kernel = self._kernel
+        if kernel is None or n == 0:
+            if self.charge_read and n:
+                read_cmd = self.cost.read(n, batch.weight)
+                yield CPU_FUSED(rc, read_cmd) if rc is not None else read_cmd
+            elif rc is not None:
+                yield rc
             return batch
-        yield self.cost.predicate(n, batch.weight, max(self.terms, 1))
-        pred = self._pred
-        kept = [r for r in batch.rows if pred(r)]
-        return Batch(kept, batch.weight)
+        if self.charge_read:
+            read_cmd = self.cost.read(n, batch.weight)
+            pred_cmd = self.cost.predicate(n, batch.weight, max(self.terms, 1))
+            if rc is not None:
+                yield CPU_FUSED(rc, read_cmd, pred_cmd)
+            elif self.fuse:
+                yield CPU_FUSED(read_cmd, pred_cmd)
+            else:
+                yield read_cmd
+                yield pred_cmd
+        else:
+            pred_cmd = self.cost.predicate(n, batch.weight, max(self.terms, 1))
+            yield CPU_FUSED(rc, pred_cmd) if rc is not None else pred_cmd
+        return Batch(kernel(batch.rows), batch.weight)
+
+    def read_fused(self) -> Iterator[Any]:
+        """Fast mode: like :meth:`read`, but hand the per-batch charge back
+        to the caller as ``(batch, cmd)`` instead of yielding it.  The
+        caller must fuse ``cmd`` (when not None) in front of the very next
+        CPU command it yields, before reading again -- everything in
+        between must be pure computation.  ``(END, None)`` closes the
+        stream; END never carries a charge."""
+        batch = yield from self.reader.read()
+        if batch is END:
+            return END, None
+        rc = self._deferred_charge
+        n = len(batch.rows)
+        kernel = self._kernel
+        if kernel is None or n == 0:
+            if self.charge_read and n:
+                read_cmd = self.cost.read(n, batch.weight)
+                return batch, (CPU_FUSED(rc, read_cmd) if rc is not None else read_cmd)
+            return batch, rc
+        if self.charge_read:
+            read_cmd = self.cost.read(n, batch.weight)
+            pred_cmd = self.cost.predicate(n, batch.weight, max(self.terms, 1))
+            cmd = (
+                CPU_FUSED(rc, read_cmd, pred_cmd)
+                if rc is not None
+                else CPU_FUSED(read_cmd, pred_cmd)
+            )
+        else:
+            pred_cmd = self.cost.predicate(n, batch.weight, max(self.terms, 1))
+            cmd = CPU_FUSED(rc, pred_cmd) if rc is not None else pred_cmd
+        return Batch(kernel(batch.rows), batch.weight), cmd
+
+    def fuse_next_lock(self, cmd):
+        """Fast mode: fuse the *next* read's SPL lock charge as the last
+        part of ``cmd`` (see ``SplConsumer.prepay_lock_charge``).  Only
+        legal when nothing but pure computation happens between yielding
+        the returned command and the next ``read_fused`` call -- in
+        particular, no intervening emit.  Returns ``cmd`` unchanged when
+        prepaying is unavailable."""
+        lp = self._lock_prepay
+        if lp is None or cmd is None:
+            return cmd
+        self.reader.lock_prepaid = True
+        return CPU_FUSED(cmd, lp)

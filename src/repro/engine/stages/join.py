@@ -3,13 +3,18 @@
 One worker per host packet: build a hash table from the (filtered) build
 input, then stream the probe input.  Cost charges split per the paper's
 breakdown: ``hash()``/``equal()`` cycles under "hashing", build/probe
-bookkeeping and output materialization under "joins"."""
+bookkeeping and output materialization under "joins".
+
+Both hot loops run vectorized (one comprehension per batch, key indices
+hoisted out of the loop) and the per-batch cycle charges are fused into a
+single simulator event; neither changes the joined rows or a single
+simulated tick (see :mod:`repro.engine.config`)."""
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Iterator
 
-from repro.sim.commands import CPU
+from repro.sim.commands import CPU, CPU_FUSED
 from repro.engine.exchange import END
 from repro.engine.packet import Packet
 from repro.engine.stage import Stage
@@ -34,45 +39,81 @@ class HashJoinStage(Stage):
         node: "HashJoinNode" = packet.node
         cost = self.engine.cost
         exchange = packet.exchange
+        fuse = self.engine.config.use_fuse_charges()
         yield CPU(cost.packet_dispatch, "misc")
 
         # ---- build phase --------------------------------------------
+        # Key index resolved once per packet, not per batch.
         build_key = build_input.schema.index(node.build_key)
         table: dict[Any, list[tuple]] = {}
+        setdefault = table.setdefault
         while True:
-            batch = yield from build_input.read()
+            # Fast mode: the input hands back its per-batch charge so it
+            # rides in front of our hashing/build charge -- one command
+            # per batch for the whole read->filter->build chain.
+            if fuse:
+                batch, fc = yield from build_input.read_fused()
+            else:
+                batch = yield from build_input.read()
+                fc = None
             if batch is END:
                 break
             rows = batch.rows
             if not rows:
+                if fc is not None:
+                    yield build_input.fuse_next_lock(fc)
                 continue
             n, w = len(rows), batch.weight
-            yield cost.hashing(n, w)
-            yield cost.build(n, w)
+            if fuse:
+                # Only pure computation follows until the next read, so the
+                # next read's lock charge rides at the tail of this command.
+                if fc is not None:
+                    cmd = CPU_FUSED(fc, cost.hashing(n, w), cost.build(n, w))
+                else:
+                    cmd = CPU_FUSED(cost.hashing(n, w), cost.build(n, w))
+                yield build_input.fuse_next_lock(cmd)
+            else:
+                yield cost.hashing(n, w)
+                yield cost.build(n, w)
             for r in rows:
-                table.setdefault(r[build_key], []).append(r)
+                setdefault(r[build_key], []).append(r)
 
         # ---- probe phase --------------------------------------------
         probe_key = probe_input.schema.index(node.probe_key)
         get = table.get
+        empty: tuple = ()
         while True:
-            batch = yield from probe_input.read()
+            if fuse:
+                batch, fc = yield from probe_input.read_fused()
+            else:
+                batch = yield from probe_input.read()
+                fc = None
             if batch is END:
                 break
             rows = batch.rows
             if not rows:
+                if fc is not None:
+                    yield probe_input.fuse_next_lock(fc)
                 continue
             n, w = len(rows), batch.weight
-            out: list[tuple] = []
-            for r in rows:
-                matches = get(r[probe_key])
-                if matches:
-                    for m in matches:
-                        out.append(r + m)
-            yield cost.hashing(n, w, equals=len(out))
-            yield cost.probe(n, w)
+            out = [r + m for r in rows for m in get(r[probe_key], empty)]
+            cmds = [cost.hashing(n, w, equals=len(out)), cost.probe(n, w)]
             if out:
-                yield cost.emit_join(len(out), w)
+                cmds.append(cost.emit_join(len(out), w))
+            if fuse:
+                if fc is not None:
+                    cmds.insert(0, fc)
+                fused_cmd = CPU_FUSED(*cmds)
+                if not out:
+                    # No emission before the next read, so its lock charge
+                    # can ride at the tail (an emit in between would hold
+                    # the input SPL's lock across the emit -- illegal).
+                    fused_cmd = probe_input.fuse_next_lock(fused_cmd)
+                yield fused_cmd
+            else:
+                for cmd in cmds:
+                    yield cmd
+            if out:
                 if not packet.started_emitting:
                     packet.mark_started()
                     self.unregister(packet)  # step WoP closes

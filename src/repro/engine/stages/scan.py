@@ -112,11 +112,19 @@ class TableScanStage(Stage):
         source = PageSource(
             engine.sim, engine.storage, table, start, name=f"scan-{table.name}-p{packet.packet_id}"
         )
+        fuse = engine.config.use_fuse_charges()
         try:
             while exchange.active_consumers > 0:
                 page = yield from source.next()
-                yield cost.scan(len(page.rows), page.weight)
-                yield from exchange.emit(page.to_batch())
+                scan_cmd = cost.scan(len(page.rows), page.weight)
+                if fuse and scan_cmd.cycles > 0:
+                    # Fast mode: the per-page scan charge rides in front of
+                    # the exchange's emit charge (nothing observable happens
+                    # between the two yields).
+                    yield from exchange.emit(page.to_batch(), lead=scan_cmd)
+                else:
+                    yield scan_cmd
+                    yield from exchange.emit(page.to_batch())
                 if shared:
                     self._positions[table.name] = source.position
         finally:

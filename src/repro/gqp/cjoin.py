@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
-from repro.sim.commands import CPU, SLEEP
+from repro.sim.commands import CPU, CPU_FUSED, SLEEP
 from repro.sim.sync import Channel, Condition
 from repro.gqp.bitmap import SlotAllocator
 from repro.storage.page import Batch
@@ -104,9 +104,25 @@ class _QueryState:
 
 
 class _WorkItem:
-    """One tagged fact page moving through the pipeline."""
+    """One tagged fact page moving through the pipeline.
 
-    __slots__ = ("batch", "mask", "addressed", "filters", "filter_pos", "high_slots", "joined")
+    Surviving tuples are carried as three *parallel lists* -- ``rows``
+    (fact rows), ``bms`` (per-row query bitmaps) and ``dims`` (per-row
+    tuples of joined dimension rows) -- instead of a list of triples, so
+    the distributor's bitmap pass is a single comprehension over ``bms``
+    with no per-row unpacking."""
+
+    __slots__ = (
+        "batch",
+        "mask",
+        "addressed",
+        "filters",
+        "filter_pos",
+        "high_slots",
+        "rows",
+        "bms",
+        "dims",
+    )
 
     def __init__(
         self,
@@ -123,7 +139,9 @@ class _WorkItem:
         self.filters = filters
         self.filter_pos = filter_pos
         self.high_slots = high_slots
-        self.joined: list[tuple[tuple, int, tuple]] = []
+        self.rows: list[tuple] = []
+        self.bms: list[int] = []
+        self.dims: list[tuple] = []
 
 
 class CJoinPipeline:
@@ -301,17 +319,31 @@ class CJoinPipeline:
         the buffer pool."""
         cost = self.cost
         dim = self.storage.table(dimspec.dim_table)
-        pred = dimspec.predicate.compile(dim.schema) if dimspec.predicate is not None else None
-        terms = dimspec.predicate.terms if dimspec.predicate is not None else 0
+        kernel = None
+        terms = 0
+        if dimspec.predicate is not None:
+            terms = dimspec.predicate.terms
+            if self.engine.config.use_batch_kernels():
+                kernel = dimspec.predicate.compile_batch(dim.schema)
+            else:
+                pred = dimspec.predicate.compile(dim.schema)
+                kernel = lambda rows, _p=pred: [r for r in rows if _p(r)]  # noqa: E731
+        fuse = self.engine.config.use_fuse_charges()
         selected: list[tuple] = []
         for page_index in range(dim.num_pages):
             page = yield from self.storage.read_page(dim, page_index)
             rows = page.rows
-            yield cost.scan(len(rows), page.weight)
-            if pred is not None:
-                yield cost.predicate(len(rows), page.weight, max(terms, 1))
-                selected.extend(r for r in rows if pred(r))
+            if kernel is not None:
+                scan_cmd = cost.scan(len(rows), page.weight)
+                pred_cmd = cost.predicate(len(rows), page.weight, max(terms, 1))
+                if fuse:
+                    yield CPU_FUSED(scan_cmd, pred_cmd)
+                else:
+                    yield scan_cmd
+                    yield pred_cmd
+                selected.extend(kernel(rows))
             else:
+                yield cost.scan(len(rows), page.weight)
                 selected.extend(rows)
         return selected
 
@@ -415,22 +447,32 @@ class CJoinPipeline:
     # ------------------------------------------------------------------
     # Filter workers (horizontal configuration)
     # ------------------------------------------------------------------
-    def _apply_one_filter(self, item: _WorkItem, flt: Filter, current) -> Iterator[Any]:
+    def _apply_one_filter(self, item: _WorkItem, flt: Filter) -> Iterator[Any]:
         """Probe one filter with the item's surviving tuples (generator:
-        charges the shared-operator costs); returns the survivors."""
+        charges the shared-operator costs); updates the item's parallel
+        survivor lists in place.
+
+        The survivor pass runs before the cycle charges so all of them
+        (including the survivor-count-dependent ``emit_join``) can be fused
+        into one simulator event; the computation is pure Python between
+        yields, so the charge values, their order, and every simulated tick
+        are identical to the unfused sequence."""
         cost = self.cost
         w = item.batch.weight
-        n = len(current)
+        rows = item.rows
+        n = len(rows)
         if n == 0:
-            return current
-        yield cost.hashing(n, w)
-        yield cost.probe(n, w, shared=True)
-        yield cost.bitmap_and(n, w, item.high_slots)
+            return
         get = flt.ht.get
         fk = flt.fact_fk_idx
         pass_mask = flt.pass_mask
-        survivors: list[tuple[tuple, int, tuple]] = []
-        for row, bm, dims in current:
+        new_rows: list[tuple] = []
+        new_bms: list[int] = []
+        new_dims: list[tuple] = []
+        add_row = new_rows.append
+        add_bm = new_bms.append
+        add_dim = new_dims.append
+        for row, bm, dims in zip(rows, item.bms, item.dims):
             entry = get(row[fk])
             if entry is None:
                 bm &= pass_mask
@@ -439,13 +481,25 @@ class CJoinPipeline:
                 bm &= entry.bitmap | pass_mask
                 dim_row = entry.row
             if bm:
-                survivors.append((row, bm, dims + (dim_row,)))
-        if survivors:
+                add_row(row)
+                add_bm(bm)
+                add_dim(dims + (dim_row,))
+        cmds = [
+            cost.hashing(n, w),
+            cost.probe(n, w, shared=True),
+            cost.bitmap_and(n, w, item.high_slots),
+        ]
+        if new_rows:
             # Materializing the joined tuple (attaching the dimension
             # payload) costs the same as a query-centric join's output
             # materialization.
-            yield cost.emit_join(len(survivors), w)
-        return survivors
+            cmds.append(cost.emit_join(len(new_rows), w))
+        if self.engine.config.use_fuse_charges():
+            yield CPU_FUSED(*cmds)
+        else:
+            for cmd in cmds:
+                yield cmd
+        item.rows, item.bms, item.dims = new_rows, new_bms, new_dims
 
     def _filter_worker(self) -> Iterator[Any]:
         """Horizontal configuration: each worker carries a page through the
@@ -456,14 +510,14 @@ class CJoinPipeline:
             if item is Channel.CLOSED:  # pragma: no cover - pipeline never closes
                 return
             yield CPU(cost.filter_sync_page, "locks")
-            current: list[tuple[tuple, int, tuple]] = [
-                (row, item.mask, ()) for row in item.batch.rows
-            ]
+            rows = list(item.batch.rows)
+            item.rows = rows
+            item.bms = [item.mask] * len(rows)
+            item.dims = [()] * len(rows)
             for flt in item.filters:
-                if not current:
+                if not item.rows:
                     break
-                current = yield from self._apply_one_filter(item, flt, current)
-            item.joined = current
+                yield from self._apply_one_filter(item, flt)
             yield from self._dist_chan.put(item)
 
     def _vertical_worker(self, position: int) -> Iterator[Any]:
@@ -478,11 +532,12 @@ class CJoinPipeline:
                 return
             yield CPU(cost.filter_sync_page, "locks")
             if position == 0:
-                item.joined = [(row, item.mask, ()) for row in item.batch.rows]
+                rows = list(item.batch.rows)
+                item.rows = rows
+                item.bms = [item.mask] * len(rows)
+                item.dims = [()] * len(rows)
             if position < len(item.filters):
-                item.joined = yield from self._apply_one_filter(
-                    item, item.filters[position], item.joined
-                )
+                yield from self._apply_one_filter(item, item.filters[position])
             if position + 1 < len(item.filters):
                 self._ensure_vertical_worker(position + 1)
                 yield from self._vchans[position + 1].put(item)
@@ -512,29 +567,47 @@ class CJoinPipeline:
             if item is Channel.CLOSED:  # pragma: no cover
                 return
             w = item.batch.weight
-            joined = item.joined
+            rows = item.rows
+            bms = item.bms
+            dims = item.dims
             filter_pos = item.filter_pos
+            fuse = self.engine.config.use_fuse_charges()
             for state in item.addressed:
+                # The bitmap pass is one comprehension over the parallel
+                # ``bms`` list with the query's bit pre-bound -- no per-row
+                # triple unpacking.  Charges for the selection, routing and
+                # (optional) shared-aggregation update fuse into one event;
+                # values and order match the unfused sequence exactly.
                 bit = state.bit
                 pred = state.fact_pred
-                selected = [(row, dims) for row, bm, dims in joined if bm & bit]
-                if selected and pred is not None:
-                    yield cost.predicate(len(selected), w, max(state.fact_pred_terms, 1))
-                    selected = [(row, dims) for row, dims in selected if pred(row)]
-                if selected:
+                sel = [j for j, bm in enumerate(bms) if bm & bit]
+                cmds = []
+                if sel and pred is not None:
+                    cmds.append(cost.predicate(len(sel), w, max(state.fact_pred_terms, 1)))
+                    sel = [j for j in sel if pred(rows[j])]
+                out = None
+                if sel:
                     project = state.projector
-                    out = [project(row, dims, filter_pos) for row, dims in selected]
-                    yield cost.distribute(len(out), w)
+                    out = [project(rows[j], dims[j], filter_pos) for j in sel]
+                    cmds.append(cost.distribute(len(out), w))
                     if state.agg_groups is not None:
-                        # Shared aggregation: fold into running sums instead
-                        # of emitting (the packet's step WoP stays open for
-                        # the whole execution -- results are buffered).
-                        yield CPU(
+                        cmds.append(CPU(
                             (cost.hash_func + cost.agg_update
                              + cost.agg_per_function * len(state.agg_node.aggregates))
                             * len(out) * w,
                             "aggregation",
-                        )
+                        ))
+                if cmds:
+                    if fuse:
+                        yield CPU_FUSED(*cmds)
+                    else:
+                        for cmd in cmds:
+                            yield cmd
+                if out:
+                    if state.agg_groups is not None:
+                        # Shared aggregation: fold into running sums instead
+                        # of emitting (the packet's step WoP stays open for
+                        # the whole execution -- results are buffered).
                         self._fold_aggregates(state, out, w)
                     else:
                         packet = state.packet

@@ -1,14 +1,30 @@
 """Scalar expressions over rows.
 
-Expressions are small immutable ASTs with three capabilities:
+Expressions are small immutable ASTs with four capabilities:
 
 * ``compile(schema)`` -- build a fast ``row -> value`` closure (predicates
   are evaluated millions of times; attribute lookups are hoisted out);
+* ``compile_batch(schema)`` -- build a *batch kernel* evaluating the
+  predicate over a whole sequence of rows in one call (see below);
 * ``signature`` -- a canonical, hashable encoding used for common-sub-plan
   detection (two predicates share iff their signatures are equal);
 * ``terms`` -- the number of primitive comparisons, used by the cost model
   to charge predicate-evaluation cycles.
-"""
+
+Batch kernels
+-------------
+``compile_batch(schema)`` returns ``rows -> list of passing rows``;
+``compile_batch(schema, indices=True)`` returns ``rows -> list of passing
+indices`` (for callers that filter parallel lists, e.g. CJOIN's
+distributor).  The hot shapes -- single-column comparison against a
+constant, inclusive range, set membership, and conjunctions of those --
+compile to a single list comprehension with the column index and constants
+hoisted into the closure, amortizing the per-row interpretation cost the
+same way vectorized engines amortize per-tuple interpretation over blocks.
+Every other shape falls back to wrapping the row closure, so the kernel is
+*always* semantically identical to filtering with ``compile``: it selects
+exactly the same rows in the same order (tests/query/test_batch_kernels.py
+holds every shape to that)."""
 
 from __future__ import annotations
 
@@ -34,6 +50,26 @@ _ARITH_OPS: dict[str, Callable[[Any, Any], Any]] = {
     "/": operator.truediv,
 }
 
+# Batch-kernel factories for single-column comparisons against a constant:
+# the comparison is inlined in the comprehension (no per-row function call).
+_BATCH_CMP_ROWS: dict[str, Callable[[int, Any], Callable]] = {
+    "<": lambda i, v: lambda rows: [r for r in rows if r[i] < v],
+    "<=": lambda i, v: lambda rows: [r for r in rows if r[i] <= v],
+    "=": lambda i, v: lambda rows: [r for r in rows if r[i] == v],
+    "!=": lambda i, v: lambda rows: [r for r in rows if r[i] != v],
+    ">=": lambda i, v: lambda rows: [r for r in rows if r[i] >= v],
+    ">": lambda i, v: lambda rows: [r for r in rows if r[i] > v],
+}
+
+_BATCH_CMP_IDX: dict[str, Callable[[int, Any], Callable]] = {
+    "<": lambda i, v: lambda rows: [j for j, r in enumerate(rows) if r[i] < v],
+    "<=": lambda i, v: lambda rows: [j for j, r in enumerate(rows) if r[i] <= v],
+    "=": lambda i, v: lambda rows: [j for j, r in enumerate(rows) if r[i] == v],
+    "!=": lambda i, v: lambda rows: [j for j, r in enumerate(rows) if r[i] != v],
+    ">=": lambda i, v: lambda rows: [j for j, r in enumerate(rows) if r[i] >= v],
+    ">": lambda i, v: lambda rows: [j for j, r in enumerate(rows) if r[i] > v],
+}
+
 
 class Expr:
     """Base class for scalar expressions."""
@@ -42,6 +78,18 @@ class Expr:
 
     def compile(self, schema: "Schema") -> Callable[[tuple], Any]:
         raise NotImplementedError
+
+    def compile_batch(
+        self, schema: "Schema", indices: bool = False
+    ) -> Callable[[Sequence[tuple]], list]:
+        """Batch selection kernel (see module docstring).
+
+        Generic fallback: wrap the row closure.  Subclasses with a hot
+        shape override this with a fused one-pass comprehension."""
+        pred = self.compile(schema)
+        if indices:
+            return lambda rows: [i for i, r in enumerate(rows) if pred(r)]
+        return lambda rows: [r for r in rows if pred(r)]
 
     @property
     def signature(self) -> tuple:
@@ -75,8 +123,8 @@ class Col(Expr):
         self.name = name
 
     def compile(self, schema: "Schema") -> Callable[[tuple], Any]:
-        i = schema.index(self.name)
-        return lambda row: row[i]
+        # itemgetter is a single C-level call per row (no frame push).
+        return operator.itemgetter(schema.index(self.name))
 
     @property
     def signature(self) -> tuple:
@@ -132,6 +180,14 @@ class Cmp(Expr):
         rhs = self.right.compile(schema)
         return lambda row: f(lhs(row), rhs(row))
 
+    def compile_batch(
+        self, schema: "Schema", indices: bool = False
+    ) -> Callable[[Sequence[tuple]], list]:
+        if isinstance(self.left, Col) and isinstance(self.right, Const):
+            factory = (_BATCH_CMP_IDX if indices else _BATCH_CMP_ROWS)[self.op]
+            return factory(schema.index(self.left.name), self.right.value)
+        return super().compile_batch(schema, indices)
+
     @property
     def signature(self) -> tuple:
         return ("cmp", self.op, self.left.signature, self.right.signature)
@@ -154,6 +210,15 @@ class Between(Expr):
         i = schema.index(self.col)
         lo, hi = self.lo, self.hi
         return lambda row: lo <= row[i] <= hi
+
+    def compile_batch(
+        self, schema: "Schema", indices: bool = False
+    ) -> Callable[[Sequence[tuple]], list]:
+        i = schema.index(self.col)
+        lo, hi = self.lo, self.hi
+        if indices:
+            return lambda rows: [j for j, r in enumerate(rows) if lo <= r[i] <= hi]
+        return lambda rows: [r for r in rows if lo <= r[i] <= hi]
 
     @property
     def signature(self) -> tuple:
@@ -184,6 +249,15 @@ class InSet(Expr):
         vals = frozenset(self.values)
         return lambda row: row[i] in vals
 
+    def compile_batch(
+        self, schema: "Schema", indices: bool = False
+    ) -> Callable[[Sequence[tuple]], list]:
+        i = schema.index(self.col)
+        vals = frozenset(self.values)
+        if indices:
+            return lambda rows: [j for j, r in enumerate(rows) if r[i] in vals]
+        return lambda rows: [r for r in rows if r[i] in vals]
+
     @property
     def signature(self) -> tuple:
         return ("in", self.col, self.values)
@@ -211,6 +285,39 @@ class And(Expr):
         if len(fns) == 1:
             return fns[0]
         return lambda row: all(f(row) for f in fns)
+
+    def compile_batch(
+        self, schema: "Schema", indices: bool = False
+    ) -> Callable[[Sequence[tuple]], list]:
+        """Conjunction kernel: cascade the parts' kernels, each pass
+        filtering the survivors of the previous one (selection order is
+        preserved, so the result equals row-at-a-time evaluation)."""
+        if len(self.parts) == 1:
+            return self.parts[0].compile_batch(schema, indices)
+        kernels = [p.compile_batch(schema) for p in self.parts]
+        if not indices:
+            def filter_rows(rows: Sequence[tuple]) -> list:
+                out = rows
+                for k in kernels:
+                    if not out:
+                        break
+                    out = k(out)
+                return out if isinstance(out, list) else list(out)
+
+            return filter_rows
+
+        first = self.parts[0].compile_batch(schema, indices=True)
+        rest = [p.compile(schema) for p in self.parts[1:]]
+
+        def filter_indices(rows: Sequence[tuple]) -> list:
+            sel = first(rows)
+            for pred in rest:
+                if not sel:
+                    break
+                sel = [j for j in sel if pred(rows[j])]
+            return sel
+
+        return filter_indices
 
     @property
     def signature(self) -> tuple:

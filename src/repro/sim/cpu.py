@@ -60,9 +60,24 @@ class CpuPool:
         self.oversub_exponent = oversub_exponent
         self.service = 0.0  # per-thread cumulative service, in cycles
         self._last_update = 0.0
-        self._heap: list[tuple[float, int, "SimThread", Callable[[], None]]] = []
+        # Memoized per-thread rates indexed by member count (index 0 is a
+        # placeholder; _rate early-returns 0.0 for an empty pool).
+        self._rates: list[float] = [0.0]
+        # (target service, seq, thread, on_done, remaining fused parts)
+        self._heap: list[tuple[float, int, "SimThread", Callable[[], None], tuple]] = []
         self._seq = 0
         self._version = 0  # invalidates scheduled completion events
+        #: metrics hook for fused charges: called as ``charge(thread,
+        #: cycles, category)`` exactly when a fused part *starts* -- the
+        #: same instant its unfused equivalent would have been dispatched.
+        self.charge: Callable[["SimThread", float, str], None] | None = None
+        # ---- armed-event dedup (owned by Simulator._arm_pool fast path):
+        # time of the single live completion event, a token invalidating
+        # superseded events, and the freshest (time, version) estimate.
+        self.armed_when: float | None = None
+        self.arm_token = 0
+        self.fresh_when: float | None = None
+        self.fresh_version = -1
         # ---- metrics -------------------------------------------------
         self.util_integral = 0.0  # integral of busy cores over time
         self.busy_time = 0.0  # wall time with >= 1 runnable thread
@@ -87,11 +102,27 @@ class CpuPool:
         n = len(self._heap)
         if n == 0:
             return 0.0
-        rate = self.hz * min(1.0, self.cores / n)
-        if n > self.cores and self.oversub_penalty > 0:
-            excess = n / self.cores - 1.0
-            rate /= 1.0 + self.oversub_penalty * excess**self.oversub_exponent
-        return rate
+        rates = self._rates
+        if n < len(rates):
+            return rates[n]
+        return self._rate_for(n)
+
+    def _rate_for(self, n: int) -> float:
+        """Compute (and memoize) the per-thread rate for ``n`` members.
+
+        The rate is a pure function of the member count (hz, cores and the
+        oversubscription penalty are fixed per pool), so each distinct ``n``
+        is computed exactly once -- same expression, same float -- and hot
+        paths index the memo table directly."""
+        rates = self._rates
+        while len(rates) <= n:
+            m = len(rates)
+            rate = self.hz * min(1.0, self.cores / m)
+            if m > self.cores and self.oversub_penalty > 0:
+                excess = m / self.cores - 1.0
+                rate /= 1.0 + self.oversub_penalty * excess**self.oversub_exponent
+            rates.append(rate)
+        return rates[n]
 
     def advance(self, now: float) -> None:
         """Bring the service counter (and metrics) up to simulated ``now``."""
@@ -107,13 +138,22 @@ class CpuPool:
             self._last_update = now
 
     # ------------------------------------------------------------------
-    def add(self, now: float, thread: "SimThread", cycles: float, on_done: Callable[[], None]) -> None:
+    def add(
+        self,
+        now: float,
+        thread: "SimThread",
+        cycles: float,
+        on_done: Callable[[], None],
+        rest: tuple = (),
+    ) -> None:
         """Enter ``thread`` into the pool for ``cycles`` of work; call
-        ``on_done`` (engine resume hook) when the work completes."""
+        ``on_done`` (engine resume hook) when the work completes.  ``rest``
+        carries the remaining ``(cycles, category)`` parts of a fused
+        command, consumed sequentially before ``on_done`` fires."""
         self.advance(now)
         target = self.service + max(cycles, 0.0)
         self._seq += 1
-        heapq.heappush(self._heap, (target, self._seq, thread, on_done))
+        heapq.heappush(self._heap, (target, self._seq, thread, on_done, rest))
         self._version += 1
 
     def next_completion(self, now: float) -> float | None:
@@ -129,16 +169,40 @@ class CpuPool:
         return now + remaining / rate
 
     def pop_completed(self, now: float) -> list[tuple["SimThread", Callable[[], None]]]:
-        """Remove and return every thread whose work is complete at ``now``."""
+        """Remove and return every thread whose work is complete at ``now``.
+
+        An entry that still carries fused parts does not resume its thread;
+        instead its returned callable charges the next part and re-enters
+        the pool.  The caller invokes the callables in completion order, so
+        both the metrics-charge order and the pool insertion order are
+        exactly what the unfused charge sequence would have produced."""
         self.advance(now)
         done: list[tuple["SimThread", Callable[[], None]]] = []
         eps = 1e-9 * max(1.0, abs(self.service))
         while self._heap and self._heap[0][0] <= self.service + eps:
-            _, _, thread, on_done = heapq.heappop(self._heap)
-            done.append((thread, on_done))
+            _, _, thread, on_done, rest = heapq.heappop(self._heap)
+            if rest:
+                done.append((thread, self._part_continuation(now, thread, on_done, rest)))
+            else:
+                done.append((thread, on_done))
         if done:
             self._version += 1
         return done
+
+    def _part_continuation(
+        self, now: float, thread: "SimThread", on_done: Callable[[], None], rest: tuple
+    ) -> Callable[[], None]:
+        """Continuation for the next part of a fused charge: meter it and
+        re-enter the pool, mirroring what dispatching it separately would
+        have done at this exact instant."""
+
+        def start_next_part() -> None:
+            cycles, category = rest[0]
+            if self.charge is not None:
+                self.charge(thread, cycles, category)
+            self.add(now, thread, cycles, on_done, rest[1:])
+
+        return start_next_part
 
     @property
     def version(self) -> int:

@@ -14,6 +14,7 @@ from typing import Any, Callable, ClassVar, Generator
 
 from repro.sim.commands import BLOCK, CpuCommand, IoCommand, SleepCommand
 from repro.sim.cpu import CpuPool
+from repro.sim.fastpath import fuse_charges_default
 from repro.sim.iodev import IoDevice
 from repro.sim.machine import PAPER_MACHINE, MachineSpec
 from repro.sim.metrics import Metrics
@@ -63,10 +64,18 @@ class Simulator:
             for d in machine.disks
         }
         self.metrics = Metrics()
+        # Fused CPU charges are metered by the pool at the instant each
+        # part starts (identical order and values to unfused dispatch).
+        self.cpu.charge = self._charge_part
         self.current: SimThread | None = None
         self.threads: list[SimThread] = []
         self._daemons: set[SimThread] = set()
         self._pending_error: tuple[SimThread, BaseException] | None = None
+        self._run_until: float | None = None
+        # Snapshot of the fuse_charges fast-path flag, refreshed at run()
+        # entry (the flag never flips mid-run; reading it once avoids a
+        # dict lookup on every dispatched command).
+        self._fuse = fuse_charges_default()
         Simulator._active = self
 
     # ------------------------------------------------------------------
@@ -131,6 +140,57 @@ class Simulator:
             return
         finally:
             self.current = prev
+        if type(cmd) is CpuCommand and self._fuse and "_dispatch" not in self.__dict__:
+            # Inline copy of _dispatch's fast CPU branch -- every worker
+            # yield funnels through here, so the extra call is measurable.
+            # Keep in lockstep with _dispatch.  Skipped whenever _dispatch
+            # is wrapped on the instance (e.g. an attached Tracer), so
+            # hooks keep seeing every command.
+            cycles = cmd.cycles
+            category = cmd.category
+            metrics = self.metrics
+            metrics.cpu_cycles_by_category[category] += cycles
+            metrics.cpu_cycles_by_query[(thread.query_id, category)] += cycles
+            rest = cmd.rest
+            if cycles <= 0 and not rest:
+                thread.state = ThreadState.READY
+                self.call_at(self.now, lambda: self._resume(thread))
+                return
+            thread.state = ThreadState.ON_CPU
+            pool = self.cpu
+            now = self.now
+            waker = thread._waker
+            if waker is None:
+                waker = self._make_waker(thread)
+            pheap = pool._heap
+            rates = pool._rates
+            dt = now - pool._last_update
+            if dt > 0:
+                n = len(pheap)
+                if n:
+                    pool.service += (rates[n] if n < len(rates) else pool._rate_for(n)) * dt
+                    pool.util_integral += min(n, pool.cores) * dt
+                    pool.busy_time += dt
+                pool._last_update = now
+            elif dt < 0:
+                raise AssertionError(f"time went backwards: {pool._last_update} -> {now}")
+            service = pool.service
+            pool._seq += 1
+            heapq.heappush(
+                pheap,
+                (service + (cycles if cycles > 0.0 else 0.0), pool._seq, thread, waker, rest),
+            )
+            pool._version += 1
+            remaining = pheap[0][0] - service
+            n = len(pheap)
+            rate = rates[n] if n < len(rates) else pool._rate_for(n)
+            when = now + (remaining if remaining > 0.0 else 0.0) / rate
+            pool.fresh_when = when
+            pool.fresh_version = pool._version
+            armed = pool.armed_when
+            if armed is None or when <= armed:
+                self._push_pool_event(pool, when)
+            return
         self._dispatch(thread, cmd)
 
     def _finish(self, thread: SimThread, result: Any = None, error: BaseException | None = None) -> None:
@@ -147,28 +207,117 @@ class Simulator:
             if self._pending_error is None:
                 self._pending_error = (thread, error)
 
+    def _charge_part(self, thread: SimThread, cycles: float, category: str) -> None:
+        self.metrics.charge_cpu(cycles, category, thread.query_id)
+
     def _dispatch(self, thread: SimThread, cmd: Any) -> None:
-        if isinstance(cmd, CpuCommand):
-            self.metrics.charge_cpu(cmd.cycles, cmd.category, thread.query_id)
-            if cmd.cycles <= 0:
+        # type-is instead of isinstance: the command classes are final by
+        # design and this check runs once per yielded command.
+        cmd_type = type(cmd)
+        if cmd_type is CpuCommand:
+            cycles = cmd.cycles
+            category = cmd.category
+            metrics = self.metrics
+            # charge_cpu inlined (one dispatch per yielded command).
+            metrics.cpu_cycles_by_category[category] += cycles
+            metrics.cpu_cycles_by_query[(thread.query_id, category)] += cycles
+            rest = cmd.rest
+            if cycles <= 0 and not rest:
                 thread.state = ThreadState.READY
                 self.call_at(self.now, lambda: self._resume(thread))
                 return
             thread.state = ThreadState.ON_CPU
-            self.cpu.add(self.now, thread, cmd.cycles, self._make_waker(thread))
-            self._arm_pool(self.cpu)
-        elif isinstance(cmd, IoCommand):
+            pool = self.cpu
+            if self._fuse:
+                # Inline CpuPool.add + next_completion + the dedup arm of
+                # _arm_pool: one advance, one push, and the post-add
+                # completion estimate with the exact same arithmetic (the
+                # second advance would be a dt=0 no-op).
+                now = self.now
+                waker = thread._waker
+                if waker is None:
+                    waker = self._make_waker(thread)
+                pheap = pool._heap
+                rates = pool._rates
+                dt = now - pool._last_update
+                if dt > 0:
+                    n = len(pheap)
+                    if n:
+                        pool.service += (rates[n] if n < len(rates) else pool._rate_for(n)) * dt
+                        pool.util_integral += min(n, pool.cores) * dt
+                        pool.busy_time += dt
+                    pool._last_update = now
+                elif dt < 0:
+                    raise AssertionError(
+                        f"time went backwards: {pool._last_update} -> {now}"
+                    )
+                service = pool.service
+                pool._seq += 1
+                heapq.heappush(
+                    pheap,
+                    (service + (cycles if cycles > 0.0 else 0.0), pool._seq, thread, waker, rest),
+                )
+                pool._version += 1
+                remaining = pheap[0][0] - service
+                n = len(pheap)
+                rate = rates[n] if n < len(rates) else pool._rate_for(n)
+                when = now + (remaining if remaining > 0.0 else 0.0) / rate
+                pool.fresh_when = when
+                pool.fresh_version = pool._version
+                armed = pool.armed_when
+                if armed is None or when <= armed:
+                    self._push_pool_event(pool, when)
+                return
+            pool.add(self.now, thread, cycles, self._make_waker(thread), rest)
+            self._arm_pool(pool)
+        elif cmd_type is IoCommand:
             device = self.devices.get(cmd.device)
             if device is None:
                 raise SimulationError(f"unknown device {cmd.device!r} (thread {thread.name})")
-            if cmd.nbytes <= 0:
+            nbytes = cmd.nbytes
+            if nbytes <= 0:
                 thread.state = ThreadState.READY
                 self.call_at(self.now, lambda: self._resume(thread))
                 return
             thread.state = ThreadState.ON_IO
-            device.add(self.now, thread, cmd.nbytes, cmd.sequential, self._make_waker(thread))
+            if self._fuse:
+                # Mirror of the CPU branch for the shared-bandwidth device.
+                now = self.now
+                waker = thread._waker
+                if waker is None:
+                    waker = self._make_waker(thread)
+                pheap = device._heap
+                rates = device._rates
+                dt = now - device._last_update
+                if dt > 0:
+                    n = len(pheap)
+                    if n:
+                        device.service += (rates[n] if n < len(rates) else device._rate_for(n)) * dt
+                        device.busy_time += dt
+                    device._last_update = now
+                elif dt < 0:
+                    raise AssertionError(f"time went backwards on {device.name}")
+                charged = nbytes if nbytes > 0.0 else 0.0
+                device.bytes_delivered += charged
+                if not cmd.sequential:
+                    charged *= device.random_multiplier
+                service = device.service
+                device._seq += 1
+                heapq.heappush(pheap, (service + charged, device._seq, thread, waker, ()))
+                device._version += 1
+                remaining = pheap[0][0] - service
+                n = len(pheap)
+                rate = rates[n] if n < len(rates) else device._rate_for(n)
+                when = now + (remaining if remaining > 0.0 else 0.0) / rate
+                device.fresh_when = when
+                device.fresh_version = device._version
+                armed = device.armed_when
+                if armed is None or when <= armed:
+                    self._push_pool_event(device, when)
+                return
+            device.add(self.now, thread, nbytes, cmd.sequential, self._make_waker(thread))
             self._arm_pool(device)
-        elif isinstance(cmd, SleepCommand):
+        elif cmd_type is SleepCommand:
             thread.state = ThreadState.SLEEPING
 
             def wake() -> None:
@@ -185,31 +334,232 @@ class Simulator:
             )
 
     def _make_waker(self, thread: SimThread) -> Callable[[], None]:
+        if self._fuse:
+            # The waker is stateless (closes only over the thread and the
+            # simulator), so the fast path builds it once per thread
+            # instead of once per dispatched command.
+            waker = thread._waker
+            if waker is not None:
+                return waker
+
         def wake() -> None:
             thread.state = ThreadState.READY
             self._resume(thread)
 
+        thread._waker = wake
         return wake
 
-    def _arm_pool(self, pool: CpuPool | IoDevice) -> None:
-        when = pool.next_completion(self.now)
+    def _arm_pool(self, pool: CpuPool | IoDevice, when: float | None = None) -> None:
+        """Schedule the pool's next completion on the event heap.
+
+        Slow path (seed behavior): every call pushes a fresh closure that
+        carries the pool ``version`` it was computed under and no-ops if
+        membership changed before it fires -- so a busy pool leaves a trail
+        of stale events behind it (one per membership change).
+
+        Fast path (``fuse_charges`` on): keep at most ONE live event per
+        pool.  Every call still computes ``when`` with the exact arithmetic
+        of the slow path (recording it as the pool's *fresh* estimate), but
+        only pushes when the new estimate is not later than the live event
+        -- a later estimate means the live, earlier event will fire first
+        and *chase* the fresh estimate by re-pushing itself at it.  Chasing
+        re-materializes the exact event time the slow path computed (never
+        recomputes it at fire time, which would change the float), so pools
+        advance and pop at exactly the same instants in both modes.  The
+        eliminated events are precisely the slow path's stale no-ops, whose
+        times are provably earlier than the member's actual pop time
+        (entries leave a cumulative-service pool in target order, so an
+        estimate can only move *later*), hence unobservable."""
         if when is None:
-            return
-        version = pool.version
-
-        def fire() -> None:
-            if pool.version != version:
-                return  # membership changed; a fresher event is armed
-            completed = pool.pop_completed(self.now)
-            if not completed:
-                # Float round-off left the top element a hair short; nudge.
-                self.call_at(self.now + 1e-9, fire)
+            when = pool.next_completion(self.now)
+            if when is None:
                 return
-            for _thread, on_done in completed:
-                on_done()
-            self._arm_pool(pool)
+        if not self._fuse:
+            version = pool.version
 
-        self.call_at(when, fire)
+            def fire() -> None:
+                if pool.version != version:
+                    return  # membership changed; a fresher event is armed
+                self._service_pool(pool)
+
+            self.call_at(when, fire)
+            return
+        pool.fresh_when = when
+        pool.fresh_version = pool.version
+        armed = pool.armed_when
+        if armed is not None and when > armed:
+            return  # the live event at `armed` fires first and chases
+        self._push_pool_event(pool, when)
+
+    def _push_pool_event(self, pool: CpuPool | IoDevice, when: float) -> None:
+        """Push the pool's single live completion event.  Fast-path events
+        are ``(pool, token)`` tuples interpreted by the run loop (no
+        per-event closure); ``when`` is always >= ``self.now`` here."""
+        token = pool.arm_token + 1
+        pool.arm_token = token
+        pool.armed_when = when
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, (pool, token)))
+
+    def _service_pool(self, pool: CpuPool | IoDevice) -> None:
+        """Pop and process the pool's due completions at ``self.now``.
+
+        Slow path (seed behavior): one ``pop_completed`` round, invoke the
+        callbacks in completion order, re-arm through ``next_completion``.
+        The fast path lives in ``_service_pool_fast``."""
+        if self._fuse:
+            self._service_pool_fast(pool)
+            return
+        completed = pool.pop_completed(self.now)
+        if not completed:
+            # Float round-off left the top element a hair short; nudge.
+            self._arm_pool(pool, self.now + 1e-9)
+            return
+        for _thread, on_done in completed:
+            on_done()
+        self._arm_pool(pool)
+
+    def _service_pool_fast(self, pool: CpuPool | IoDevice) -> None:
+        """Fast-mode pool servicing: ``pop_completed``, the fused-part
+        continuations, ``next_completion`` and the re-arm, all inlined.
+
+        Servicing a pool is *the* hot loop of a simulated run -- every CPU
+        charge and every disk read funnels through here -- so the fast path
+        flattens what is otherwise ~10 Python calls per completion into a
+        single frame.  Every float operation is kept literally identical to
+        the method it replaces (``advance``'s service/utilization updates,
+        ``pop_completed``'s epsilon test, ``_part_continuation``'s
+        charge-and-re-add, ``next_completion``'s remaining/rate division),
+        so simulated results stay bit-identical to the slow path -- the
+        golden determinism test holds both modes to one snapshot.
+
+        Structure per round: (1) advance the pool to ``self.now``; (2)
+        two-phase pop -- collect *all* due entries first, then process them
+        in completion order (an entry with remaining fused parts charges
+        the next part and re-enters the pool; re-entries become due in a
+        later round, exactly as ``pop_completed`` batches them); (3) if
+        the pool's next completion is strictly earlier than every pending
+        heap event (and inside the run window), jump the clock there and
+        continue inline; otherwise arm the pool's single live event and
+        return.  Ties defer to the heap, whose event holds the older seq."""
+        now = self.now
+        heap = self._heap
+        pheap = pool._heap
+        rates = pool._rates
+        rate_for = pool._rate_for
+        until = self._run_until
+        is_cpu = pool is self.cpu
+        cores = self.cpu.cores
+        metrics = self.metrics
+        by_category = metrics.cpu_cycles_by_category
+        by_query = metrics.cpu_cycles_by_query
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        resume = self._resume
+        ready = ThreadState.READY
+        while True:
+            # ---- inline pool.advance(now) ----
+            dt = now - pool._last_update
+            if dt > 0:
+                n = len(pheap)
+                if n:
+                    pool.service += (rates[n] if n < len(rates) else rate_for(n)) * dt
+                    if is_cpu:
+                        pool.util_integral += min(n, cores) * dt
+                    pool.busy_time += dt
+                pool._last_update = now
+            elif dt < 0:
+                raise AssertionError(f"time went backwards: {pool._last_update} -> {now}")
+            # ---- inline pool.pop_completed(now): two-phase batch pop ----
+            service = pool.service
+            mag = abs(service)
+            limit = service + 1e-9 * (mag if mag > 1.0 else 1.0)
+            if not pheap or pheap[0][0] > limit:
+                # Float round-off left the top element a hair short; nudge.
+                when = now + 1e-9
+                pool.fresh_when = when
+                pool.fresh_version = pool._version
+                armed = pool.armed_when
+                if armed is None or when <= armed:
+                    self._push_pool_event(pool, when)
+                return
+            e = heappop(pheap)
+            pool._version += 1
+            if pheap and pheap[0][0] <= limit:
+                due = [e]
+                while pheap and pheap[0][0] <= limit:
+                    due.append(heappop(pheap))
+                for e in due:
+                    rest = e[4]
+                    if rest:
+                        # Next part of a fused charge: meter it and re-enter
+                        # the pool at this instant (CpuPool._part_continuation).
+                        thread = e[2]
+                        cycles, category = rest[0]
+                        by_category[category] += cycles
+                        by_query[(thread.query_id, category)] += cycles
+                        pool._seq += 1
+                        heappush(
+                            pheap,
+                            (service + (cycles if cycles > 0.0 else 0.0), pool._seq, thread, e[3], rest[1:]),
+                        )
+                        pool._version += 1
+                    else:
+                        # Devirtualized waker: the cached completion callback
+                        # just flips the thread READY and resumes it.
+                        on_done = e[3]
+                        thread = e[2]
+                        if on_done is thread._waker:
+                            thread.state = ready
+                            resume(thread)
+                        else:
+                            on_done()
+            else:
+                # Single due entry -- the overwhelmingly common case.
+                rest = e[4]
+                if rest:
+                    thread = e[2]
+                    cycles, category = rest[0]
+                    by_category[category] += cycles
+                    by_query[(thread.query_id, category)] += cycles
+                    pool._seq += 1
+                    heappush(
+                        pheap,
+                        (service + (cycles if cycles > 0.0 else 0.0), pool._seq, thread, e[3], rest[1:]),
+                    )
+                    pool._version += 1
+                else:
+                    on_done = e[3]
+                    thread = e[2]
+                    if on_done is thread._waker:
+                        thread.state = ready
+                        resume(thread)
+                    else:
+                        on_done()
+            # ---- inline pool.next_completion(now) + cascade decision ----
+            if not pheap:
+                return
+            remaining = pheap[0][0] - service
+            n = len(pheap)
+            rate = rates[n] if n < len(rates) else rate_for(n)
+            when = now + (remaining if remaining > 0.0 else 0.0) / rate
+            if (
+                (heap and when >= heap[0][0])
+                or (until is not None and when > until)
+                or self._pending_error is not None
+            ):
+                pool.fresh_when = when
+                pool.fresh_version = pool._version
+                armed = pool.armed_when
+                if armed is None or when <= armed:
+                    token = pool.arm_token + 1
+                    pool.arm_token = token
+                    pool.armed_when = when
+                    self._seq += 1
+                    heappush(heap, (when, self._seq, (pool, token)))
+                return
+            now = when
+            self.now = when
 
     # ------------------------------------------------------------------
     def run(self, until: float | None = None) -> float:
@@ -225,15 +575,42 @@ class Simulator:
         """
         prev_active = Simulator._active
         Simulator._active = self
+        self._run_until = until
+        self._fuse = fuse_charges_default()
+        # The event loop runs hundreds of thousands of iterations per
+        # simulated second; hoist every per-iteration attribute lookup.
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        service_fast = self._service_pool_fast
+        push_pool_event = self._push_pool_event
         try:
-            while self._heap:
-                when, _seq, fn = heapq.heappop(self._heap)
+            while heap:
+                item = heappop(heap)
+                when = item[0]
                 if until is not None and when > until:
-                    heapq.heappush(self._heap, (when, _seq, fn))
+                    heappush(heap, item)  # keep it pending for a later run()
                     self.now = until
                     break
                 self.now = when
-                fn()
+                fn = item[2]
+                if type(fn) is tuple:
+                    # A pool's live completion event (fast path): validate
+                    # the token, chase a later fresh estimate, or service.
+                    pool = fn[0]
+                    if fn[1] == pool.arm_token:
+                        pool.armed_when = None
+                        if pool.fresh_version == pool._version:
+                            fresh = pool.fresh_when
+                            if fresh is not None and fresh > when:
+                                # Completion moved later after this event was
+                                # armed (members joined); chase the recorded
+                                # fresh estimate.
+                                push_pool_event(pool, fresh)
+                            else:
+                                service_fast(pool)
+                else:
+                    fn()
                 if self._pending_error is not None:
                     thread, error = self._pending_error
                     raise SimulationError(

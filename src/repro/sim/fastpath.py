@@ -1,0 +1,46 @@
+"""Process-wide fast-path switches (wall-clock only, never simulated time).
+
+Two independent optimizations share this switchboard:
+
+* ``batch_kernels`` -- engine hot loops call ``Expr.compile_batch``
+  vectorized kernels instead of per-row closures;
+* ``fuse_charges`` -- workers yield :func:`repro.sim.commands.CPU_FUSED`
+  commands, and the simulator services the resulting completion chains
+  inline (see ``Simulator._service_pool``) instead of one heap event per
+  charge.
+
+Both default on; ``fast_path(False, False)`` restores the row-at-a-time
+"before" behavior for benchmarking and for the golden determinism tests,
+which hold the two modes to *bit-identical* simulated results.
+
+This lives in :mod:`repro.sim` (the lowest layer) because the simulator
+itself consults ``fuse_charges``; engine code imports the same switches
+through :mod:`repro.engine.config`, which re-exports them."""
+
+from __future__ import annotations
+
+import contextlib
+
+_FAST_PATH = {"batch_kernels": True, "fuse_charges": True}
+
+
+def batch_kernels_default() -> bool:
+    """Process-wide default for vectorized batch kernels."""
+    return _FAST_PATH["batch_kernels"]
+
+
+def fuse_charges_default() -> bool:
+    """Process-wide default for fused simulator CPU charges."""
+    return _FAST_PATH["fuse_charges"]
+
+
+@contextlib.contextmanager
+def fast_path(batch_kernels: bool = True, fuse_charges: bool = True):
+    """Temporarily override the fast-path defaults (benchmarking/tests)."""
+    saved = dict(_FAST_PATH)
+    _FAST_PATH["batch_kernels"] = batch_kernels
+    _FAST_PATH["fuse_charges"] = fuse_charges
+    try:
+        yield
+    finally:
+        _FAST_PATH.update(saved)

@@ -64,9 +64,20 @@ class IoDevice:
         self.random_multiplier = random_multiplier
         self.service = 0.0  # per-stream cumulative bytes delivered
         self._last_update = 0.0
-        self._heap: list[tuple[float, int, "SimThread", Callable[[], None]]] = []
+        # Memoized per-stream rates indexed by stream count (index 0 is a
+        # placeholder; _rate early-returns 0.0 for an idle device).
+        self._rates: list[float] = [0.0]
+        # Entries share the CpuPool 5-tuple shape (the trailing fused-
+        # parts slot is always empty for IO) so the simulator's inline
+        # service loop can treat both pool kinds uniformly.
+        self._heap: list[tuple[float, int, "SimThread", Callable[[], None], tuple]] = []
         self._seq = 0
         self._version = 0
+        # ---- armed-event dedup (owned by Simulator._arm_pool fast path)
+        self.armed_when: float | None = None
+        self.arm_token = 0
+        self.fresh_when: float | None = None
+        self.fresh_version = -1
         # ---- metrics -------------------------------------------------
         self.bytes_delivered = 0.0  # real (un-inflated) bytes handed to readers
         self.busy_time = 0.0
@@ -87,7 +98,20 @@ class IoDevice:
         n = len(self._heap)
         if n == 0:
             return 0.0
-        return self.bandwidth * self.interleave_efficiency(n) / n
+        rates = self._rates
+        if n < len(rates):
+            return rates[n]
+        return self._rate_for(n)
+
+    def _rate_for(self, n: int) -> float:
+        """Compute (and memoize) the per-stream rate for ``n`` streams --
+        a pure function of the stream count, so each distinct ``n`` is
+        computed exactly once with the same expression (same float)."""
+        rates = self._rates
+        while len(rates) <= n:
+            m = len(rates)
+            rates.append(self.bandwidth * self.interleave_efficiency(m) / m)
+        return rates[n]
 
     def advance(self, now: float) -> None:
         dt = now - self._last_update
@@ -118,7 +142,7 @@ class IoDevice:
             charged *= self.random_multiplier
         target = self.service + charged
         self._seq += 1
-        heapq.heappush(self._heap, (target, self._seq, thread, on_done))
+        heapq.heappush(self._heap, (target, self._seq, thread, on_done, ()))
         self._version += 1
 
     def next_completion(self, now: float) -> float | None:
@@ -136,7 +160,7 @@ class IoDevice:
         done: list[tuple["SimThread", Callable[[], None]]] = []
         eps = 1e-9 * max(1.0, abs(self.service))
         while self._heap and self._heap[0][0] <= self.service + eps:
-            _, _, thread, on_done = heapq.heappop(self._heap)
+            _, _, thread, on_done, _rest = heapq.heappop(self._heap)
             done.append((thread, on_done))
         if done:
             self._version += 1

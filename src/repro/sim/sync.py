@@ -31,9 +31,16 @@ class Lock:
     """
 
     def __init__(self, sim: "Simulator", name: str = "lock", acquire_cycles: float = 0.0):
+        from repro.sim.commands import CpuCommand
+
         self.sim = sim
         self.name = name
         self.acquire_cycles = acquire_cycles
+        #: the (immutable) latch charge, built once -- hot paths yield this
+        #: cached instance instead of constructing a command per acquire.
+        self.charge_cmd: "CpuCommand | None" = (
+            CpuCommand(acquire_cycles, "locks") if acquire_cycles else None
+        )
         self._owner: "SimThread | None" = None
         self._waiters: deque["SimThread"] = deque()
         self.acquisitions = 0
@@ -43,24 +50,36 @@ class Lock:
     def locked(self) -> bool:
         return self._owner is not None
 
+    def take_or_enqueue(self, me: "SimThread") -> bool:
+        """Post-charge half of ``acquire``: take the free lock (True) or
+        queue ``me`` FIFO (False -- the caller must ``yield BLOCK`` and then
+        call :meth:`confirm_after_block`).  Split out as a plain call so hot
+        loops can inline the acquire protocol without a sub-generator per
+        acquisition; the yielded commands are identical either way."""
+        if self._owner is None:
+            self._owner = me
+            self.acquisitions += 1
+            return True
+        self.contentions += 1
+        self._waiters.append(me)
+        return False
+
+    def confirm_after_block(self, me: "SimThread") -> None:
+        """Second half of a contended inline acquire, after the BLOCK."""
+        if self._owner is not me:  # pragma: no cover - invariant
+            raise AssertionError("woken without ownership")
+        self.acquisitions += 1
+
     def acquire(self) -> Iterator[Any]:
         """Generator: take the lock, queueing FIFO under contention."""
-        from repro.sim.commands import CPU
-
         me = self.sim.current
         if me is None:
             raise RuntimeError("Lock.acquire outside a simulated thread")
-        if self.acquire_cycles:
-            yield CPU(self.acquire_cycles, "locks")
-        if self._owner is None:
-            self._owner = me
-        else:
-            self.contentions += 1
-            self._waiters.append(me)
+        if self.charge_cmd is not None:
+            yield self.charge_cmd
+        if not self.take_or_enqueue(me):
             yield BLOCK
-            if self._owner is not me:  # pragma: no cover - invariant
-                raise AssertionError("woken without ownership")
-        self.acquisitions += 1
+            self.confirm_after_block(me)
 
     def release(self) -> None:
         if self._owner is None:

@@ -9,7 +9,7 @@ created through :meth:`repro.sim.engine.Simulator.spawn`.
 from __future__ import annotations
 
 import enum
-from typing import Any, Generator, Iterator
+from typing import Any, Callable, Generator, Iterator
 
 
 class ThreadState(enum.Enum):
@@ -50,6 +50,7 @@ class SimThread:
         "start_time",
         "finish_time",
         "_wake_token",
+        "_waker",
     )
 
     def __init__(self, gen: Generator[Any, Any, Any], name: str, query_id: int | None = None):
@@ -64,6 +65,10 @@ class SimThread:
         self.finish_time: float | None = None
         # Monotonic token used to invalidate stale unblock() calls.
         self._wake_token = 0
+        # Completion callback cached by the simulator's fast path (the
+        # slow path allocates a fresh, behaviorally identical closure per
+        # dispatch, as the seed implementation did).
+        self._waker: Callable[[], None] | None = None
 
     @property
     def alive(self) -> bool:

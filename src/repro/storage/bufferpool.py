@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Iterator
 
-from repro.sim.commands import CPU
+from repro.sim.commands import BLOCK, CPU
 from repro.sim.sync import Lock
 from repro.storage.cache import OsPageCache
 from repro.storage.page import Page
@@ -42,6 +42,9 @@ class BufferPool:
         self._resident: OrderedDict[tuple[str, int], float] = OrderedDict()
         self._bytes = 0.0
         self._latch = Lock(sim, name="bufferpool", acquire_cycles=cost.bufferpool_page * 0.25)
+        # Fixed per-page lookup charge, built once (hot path yields the
+        # cached immutable instance).
+        self._page_charge = CPU(self.cost.bufferpool_page * 0.75, "scans")
         self.hits = 0
         self.misses = 0
 
@@ -65,9 +68,17 @@ class BufferPool:
         OS cache (but not the buffer pool -- Shore-MT still buffers)."""
         page = table.page(page_index)
         key = (table.name, page_index)
-        yield from self._latch.acquire()
+        # Inline latch protocol (one acquisition per page read); the yields
+        # match ``yield from self._latch.acquire()`` exactly.
+        latch = self._latch
+        me = self.sim.current
+        if latch.charge_cmd is not None:
+            yield latch.charge_cmd
+        if not latch.take_or_enqueue(me):
+            yield BLOCK
+            latch.confirm_after_block(me)
         try:
-            yield CPU(self.cost.bufferpool_page * 0.75, "scans")
+            yield self._page_charge
             if ram_resident:
                 self.hits += 1
                 self.sim.metrics.bump("bufferpool_hits")

@@ -8,6 +8,13 @@ pages into batches, operators transform batches.
 Both carry a ``weight``: the number of real rows each generated row
 represents (see the scale substitution in DESIGN.md), so CPU and I/O charges
 reflect paper-scale data volumes.
+
+Immutability contract: ``Page.rows`` is a tuple and :meth:`Page.to_batch`
+hands that same tuple to the Batch -- *zero copies*.  Operators must never
+mutate a batch's ``rows`` in place (they build new row lists and new
+Batches); the one place that needs a private, independently-owned copy --
+push-based SP fanning a batch out to satellites -- goes through
+:meth:`Batch.copy` and is charged for it.
 """
 
 from __future__ import annotations
@@ -38,18 +45,24 @@ class Page:
         return len(self.rows)
 
     def to_batch(self) -> "Batch":
-        return Batch(list(self.rows), self.weight)
+        """A Batch viewing this page's rows -- zero-copy: the Batch shares
+        the page's row tuple (safe because batches are never mutated in
+        place; see the module docstring)."""
+        return Batch(self.rows, self.weight)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Page {self.table_name}[{self.index}] rows={len(self.rows)}>"
 
 
 class Batch:
-    """A batch of tuples flowing between operators."""
+    """A batch of tuples flowing between operators.
+
+    ``rows`` may be a list or (for zero-copy page views) a tuple; either
+    way it must be treated as immutable by consumers."""
 
     __slots__ = ("rows", "weight", "meta")
 
-    def __init__(self, rows: list, weight: float = 1.0, meta: Any = None):
+    def __init__(self, rows: Sequence[tuple], weight: float = 1.0, meta: Any = None):
         self.rows = rows
         self.weight = weight
         self.meta = meta

@@ -1,0 +1,113 @@
+"""Golden determinism: the fast path must not change a single simulated tick.
+
+Each seeded SSB workload runs twice through the same engine configuration --
+once with batch kernels and fused charges disabled (the row-at-a-time
+"before") and once enabled -- and the complete ``Metrics.to_dict()`` view,
+the final simulated clock, and every per-query response time must match
+*bitwise* (``==`` on floats, no tolerance).
+
+A committed snapshot (``golden_metrics.json``) additionally pins the
+fast-path numbers across commits: any change to simulated behavior --
+intended or not -- shows up as a diff of that file, which must then be
+regenerated deliberately (``python tests/engine/test_golden_determinism.py``)
+and reviewed."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.data import generate_ssb
+from repro.engine import CJOIN, CJOIN_SP, QPIPE_SP, QPipeEngine
+from repro.engine.config import fast_path
+from repro.baselines import VolcanoEngine
+from repro.query.ssb_queries import random_q32
+from repro.data.rng import make_rng
+from repro.sim import Simulator
+from repro.sim.machine import MachineSpec
+from repro.storage import StorageConfig, StorageManager
+from repro.sim.costmodel import DEFAULT_COST_MODEL
+
+GOLDEN_PATH = pathlib.Path(__file__).with_name("golden_metrics.json")
+
+MACHINE = MachineSpec(cores=8, hz=1.86e9)
+CONFIGS = {
+    "QPipe-SP": QPIPE_SP,
+    "CJOIN": CJOIN,
+    "CJOIN-SP": CJOIN_SP,
+    "Postgres": "postgres",
+}
+
+
+@pytest.fixture(scope="module")
+def ssb():
+    return generate_ssb(0.5, seed=21)
+
+
+def run_mix(ssb, config_key: str, *, batch: bool, fuse: bool) -> dict:
+    """One seeded 6-query Q3.2 mix; returns a JSON-safe measurement dict."""
+    with fast_path(batch_kernels=batch, fuse_charges=fuse):
+        sim = Simulator(MACHINE)
+        storage = StorageManager(
+            sim, DEFAULT_COST_MODEL, ssb.tables, StorageConfig(resident="memory")
+        )
+        config = CONFIGS[config_key]
+        if config == "postgres":
+            engine = VolcanoEngine(sim, storage, DEFAULT_COST_MODEL)
+        else:
+            engine = QPipeEngine(sim, storage, config)
+        rng = make_rng(77, "golden", config_key)
+        handles = [engine.submit(random_q32(rng)) for _ in range(6)]
+        sim.run()
+    times = sorted(h.response_time for h in handles)
+    n = len(times)
+    return {
+        "sim_now": sim.now,
+        "response_times": [h.response_time for h in handles],
+        "p50": times[int(0.50 * (n - 1))],
+        "p95": times[int(0.95 * (n - 1))],
+        "p99": times[int(0.99 * (n - 1))],
+        "metrics": sim.metrics.to_dict(),
+    }
+
+
+@pytest.mark.parametrize("config_key", list(CONFIGS), ids=list(CONFIGS))
+def test_fast_path_is_bit_identical(ssb, config_key):
+    slow = run_mix(ssb, config_key, batch=False, fuse=False)
+    fast = run_mix(ssb, config_key, batch=True, fuse=True)
+    assert fast == slow  # bitwise: dict equality compares floats with ==
+
+
+@pytest.mark.parametrize(
+    "batch,fuse", [(True, False), (False, True)], ids=["kernels-only", "fusion-only"]
+)
+def test_each_fast_path_is_independently_identical(ssb, batch, fuse):
+    base = run_mix(ssb, "CJOIN-SP", batch=False, fuse=False)
+    assert run_mix(ssb, "CJOIN-SP", batch=batch, fuse=fuse) == base
+
+
+def _jsonify(measured: dict) -> dict:
+    """Round-trip through JSON so committed and in-memory forms compare
+    equal (JSON has no tuples / int-vs-float distinctions to preserve)."""
+    return json.loads(json.dumps(measured, sort_keys=True))
+
+
+def test_matches_committed_golden_snapshot(ssb):
+    assert GOLDEN_PATH.exists(), (
+        "golden_metrics.json missing; regenerate with "
+        "'PYTHONPATH=src python tests/engine/test_golden_determinism.py'"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    measured = {
+        key: _jsonify(run_mix(ssb, key, batch=True, fuse=True)) for key in CONFIGS
+    }
+    assert measured == golden
+
+
+if __name__ == "__main__":  # regenerate the snapshot
+    data = generate_ssb(0.5, seed=21)
+    snapshot = {
+        key: _jsonify(run_mix(data, key, batch=True, fuse=True)) for key in CONFIGS
+    }
+    GOLDEN_PATH.write_text(json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")

@@ -1,0 +1,102 @@
+"""Batch-kernel equivalence: ``compile_batch`` must select exactly the rows
+that row-at-a-time ``compile`` selects, in the same order, for every Expr
+shape -- specialized fast paths and generic fallbacks alike.
+
+Property-style: seeded random rows (via :mod:`repro.data.rng`) plus the
+corner cases the comprehension kernels could plausibly get wrong -- empty
+input, all-pass, all-fail."""
+
+import pytest
+
+from repro.data.rng import make_rng
+from repro.query.expr import And, Arith, Between, Cmp, Col, Const, InSet, Not, Or
+from repro.storage.schema import Column, Schema
+
+SCHEMA = Schema(
+    (
+        Column("k", "int"),
+        Column("v", "float"),
+        Column("tag", "str"),
+    )
+)
+
+TAGS = ("red", "green", "blue", "cyan")
+
+
+def random_rows(seed: int, n: int) -> list[tuple]:
+    rng = make_rng(seed, "batch-kernels")
+    return [
+        (rng.randrange(-50, 50), rng.uniform(-10.0, 10.0), rng.choice(TAGS))
+        for _ in range(n)
+    ]
+
+
+# Every Expr shape: the specialized kernels (Cmp on Col-vs-Const for all six
+# operators, Between, InSet, And of those) and the generic fallback (Or, Not,
+# Cmp over Arith, non-Col/Const comparisons).
+EXPRS = [
+    Cmp("<", "k", 0),
+    Cmp("<=", "k", -10),
+    Cmp("=", "tag", "red"),
+    Cmp("!=", "tag", "blue"),
+    Cmp(">=", "v", 2.5),
+    Cmp(">", "k", 49),  # near-all-fail
+    Between("k", -5, 5),
+    Between("v", -100.0, 100.0),  # all-pass
+    InSet("tag", ["red", "blue"]),
+    InSet("k", [1]),
+    And(Cmp(">", "k", -50)),  # single-part And collapses to its part
+    And(Between("k", -20, 20), InSet("tag", TAGS)),
+    And(Cmp(">", "v", 0.0), Cmp("<", "v", 5.0), Cmp("!=", "tag", "green")),
+    And(Cmp(">", "k", 100), Between("v", 0, 1)),  # first part kills all rows
+    Or(Cmp("=", "tag", "red"), Cmp(">", "k", 40)),
+    Not(Between("k", 0, 100)),
+    Cmp(">", Arith("*", "v", Const(2.0)), Const(3.0)),  # arithmetic fallback
+    Cmp("<", Col("k"), Col("v")),  # non-Const rhs: fallback
+    And(Or(Cmp("=", "tag", "red"), Cmp("=", "tag", "blue")), Cmp(">", "k", 0)),
+]
+
+
+@pytest.mark.parametrize("expr", EXPRS, ids=lambda e: repr(e.signature))
+@pytest.mark.parametrize("nrows", [0, 1, 7, 200])
+def test_rows_kernel_matches_row_closure(expr, nrows):
+    rows = random_rows(seed=nrows + 3, n=nrows)
+    pred = expr.compile(SCHEMA)
+    kernel = expr.compile_batch(SCHEMA)
+    assert kernel(rows) == [r for r in rows if pred(r)]
+
+
+@pytest.mark.parametrize("expr", EXPRS, ids=lambda e: repr(e.signature))
+@pytest.mark.parametrize("nrows", [0, 1, 7, 200])
+def test_indices_kernel_matches_row_closure(expr, nrows):
+    rows = random_rows(seed=nrows + 11, n=nrows)
+    pred = expr.compile(SCHEMA)
+    kernel = expr.compile_batch(SCHEMA, indices=True)
+    assert kernel(rows) == [j for j, r in enumerate(rows) if pred(r)]
+
+
+def test_kernels_accept_tuples_and_preserve_type():
+    """Zero-copy batches hand kernels a *tuple* of rows; the kernel must
+    still return a list."""
+    rows = tuple(random_rows(seed=5, n=50))
+    for expr in EXPRS:
+        out = expr.compile_batch(SCHEMA)(rows)
+        assert isinstance(out, list)
+        idx = expr.compile_batch(SCHEMA, indices=True)(rows)
+        assert isinstance(idx, list)
+        assert [rows[j] for j in idx] == out
+
+
+def test_all_pass_and_all_fail_extremes():
+    rows = random_rows(seed=9, n=64)
+    everything = Between("k", -1000, 1000)
+    nothing = Cmp(">", "k", 1000)
+    assert everything.compile_batch(SCHEMA)(rows) == rows
+    assert nothing.compile_batch(SCHEMA)(rows) == []
+    assert everything.compile_batch(SCHEMA, indices=True)(rows) == list(range(64))
+    assert nothing.compile_batch(SCHEMA, indices=True)(rows) == []
+
+
+def test_col_compiles_to_plain_item_access():
+    get = Col("v").compile(SCHEMA)
+    assert get((1, 2.5, "red")) == 2.5

@@ -1,0 +1,121 @@
+"""Fused CPU charges must be *bit-identical* to separate yields.
+
+The simulator's fast path lets a worker yield ``CPU_FUSED(a, b, c)`` instead
+of yielding a, b, c in sequence, saving two generator resumes and two event
+dispatches.  The GPS pool consumes the parts sequentially -- each part
+re-enters the pool at its predecessor's completion instant with its own
+cycles, so the float arithmetic (``service + cycles`` per part), the
+metrics-charge order, and the pool insertion order all replicate the unfused
+sequence exactly.  These tests hold the equivalence to full bit-identity
+under contention, oversubscription, and interleaving with I/O and sleeps."""
+
+import pytest
+
+from repro.sim.commands import CPU, CPU_FUSED, SLEEP, CpuCommand
+from repro.sim.engine import Simulator
+from repro.sim.machine import MachineSpec
+
+
+class TestFactory:
+    def test_single_command_passes_through(self):
+        c = CPU(100.0, "joins")
+        assert CPU_FUSED(c) is c
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CPU_FUSED()
+
+    def test_parts_preserved_in_order(self):
+        f = CPU_FUSED(CPU(1.0, "a"), CPU(2.0, "b"), CPU(3.0, "c"))
+        assert (f.cycles, f.category) == (1.0, "a")
+        assert f.rest == ((2.0, "b"), (3.0, "c"))
+
+    def test_nested_fusions_flatten(self):
+        inner = CPU_FUSED(CPU(2.0, "b"), CPU(3.0, "c"))
+        f = CPU_FUSED(CPU(1.0, "a"), inner, CPU(4.0, "d"))
+        assert f.rest == ((2.0, "b"), (3.0, "c"), (4.0, "d"))
+
+
+def _run(fused: bool, charges_by_thread: list[list[tuple[float, str]]], cores=2):
+    """Run one thread per charge list; fused=True yields each list as one
+    CPU_FUSED command, else one CPU per charge.  Returns (now, metrics)."""
+    sim = Simulator(MachineSpec(cores=cores, hz=1e9))
+    finish_times: dict[int, float] = {}
+
+    def worker(tid: int, charges: list[tuple[float, str]]):
+        # Stagger starts so pool entries arrive at distinct service levels.
+        yield SLEEP(0.001 * tid)
+        if fused:
+            yield CPU_FUSED(*[CPU(c, cat) for c, cat in charges])
+        else:
+            for c, cat in charges:
+                yield CPU(c, cat)
+        finish_times[tid] = sim.now
+
+    for tid, charges in enumerate(charges_by_thread):
+        sim.spawn(worker(tid, charges), f"w{tid}", query_id=tid)
+    sim.run()
+    return sim.now, sim.metrics.to_dict(), finish_times
+
+
+WORKLOADS = [
+    # one thread, simple sequence
+    [[(1e6, "scans"), (2e6, "hashing"), (5e5, "joins")]],
+    # contention: more threads than cores, uneven charge counts
+    [
+        [(1e6, "scans"), (3e6, "joins")],
+        [(2.5e6, "hashing")],
+        [(7e5, "joins"), (7e5, "joins"), (7e5, "joins")],
+        [(1.1e6, "aggregation"), (9e5, "misc")],
+    ],
+    # irrational-ish cycle counts to stress float accumulation
+    [
+        [(1234567.891, "scans"), (7654321.123, "joins"), (1e3, "locks")],
+        [(999999.5, "hashing"), (1000000.5, "hashing")],
+        [(3333333.333, "aggregation")] * 3,
+    ],
+]
+
+
+@pytest.mark.parametrize("charges", WORKLOADS, ids=["single", "contended", "floats"])
+def test_fused_run_is_bit_identical(charges):
+    now_u, metrics_u, fin_u = _run(False, charges)
+    now_f, metrics_f, fin_f = _run(True, charges)
+    assert now_f == now_u  # exact float equality, no approx
+    assert fin_f == fin_u
+    assert metrics_f == metrics_u
+
+
+def test_fused_zero_cycle_head_still_enters_pool():
+    """A fused command whose head is zero cycles must not take the
+    immediate-resume shortcut -- its rest still needs the pool."""
+    sim = Simulator(MachineSpec(cores=1, hz=1e9))
+    seen = []
+
+    def worker():
+        yield CPU_FUSED(CPU(0.0, "misc"), CPU(1e9, "joins"))
+        seen.append(sim.now)
+
+    sim.spawn(worker(), "w")
+    sim.run()
+    assert seen == [pytest.approx(1.0)]
+    assert sim.metrics.to_dict()["cpu_cycles_by_category"]["joins"] == 1e9
+
+
+def test_fused_charges_attribute_to_thread_query():
+    sim = Simulator(MachineSpec(cores=4, hz=1e9))
+
+    def worker():
+        yield CPU_FUSED(CPU(5e5, "scans"), CPU(5e5, "scans"))
+
+    sim.spawn(worker(), "w", query_id=7)
+    sim.run()
+    assert sim.metrics.cpu_cycles_by_query[(7, "scans")] == 1e6
+
+
+def test_rest_is_plain_data():
+    """rest entries are (cycles, category) pairs, so fused commands stay
+    hashable/frozen like any CpuCommand."""
+    f = CPU_FUSED(CPU(1.0, "a"), CPU(2.0, "b"))
+    assert isinstance(f, CpuCommand)
+    hash(f)

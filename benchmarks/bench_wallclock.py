@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import platform
+import statistics
 import sys
 import time
 
@@ -46,17 +48,25 @@ ENGINES = {
 
 
 def _timed(fn, reps: int = 1):
-    """Best-of-``reps`` wall-clock time (the run is deterministic, so the
-    minimum is the cleanest estimate on a loaded host)."""
-    best = None
+    """Wall-clock time over ``reps`` repetitions.  The run is deterministic,
+    so the minimum is the cleanest point estimate on a loaded host; the full
+    per-rep list is kept so the report shows the min/median spread."""
+    times = []
     out = None
     for _ in range(max(reps, 1)):
         t0 = time.perf_counter()
         out = fn()
-        dt = time.perf_counter() - t0
-        if best is None or dt < best:
-            best = dt
-    return best, out
+        times.append(time.perf_counter() - t0)
+    return min(times), out, times
+
+
+def _spread(times: list[float]) -> dict:
+    """min/median summary plus the raw per-rep samples."""
+    return {
+        "min_s": round(min(times), 3),
+        "median_s": round(statistics.median(times), 3),
+        "reps_s": [round(t, 3) for t in times],
+    }
 
 
 def _engine_fingerprint(result) -> dict:
@@ -76,11 +86,11 @@ def bench_engines(n: int, sf: float, seed: int, reps: int = 1) -> dict:
     out = {}
     for name, config in ENGINES.items():
         with fast_path(batch_kernels=False, fuse_charges=False):
-            before_s, before = _timed(
+            before_s, before, before_reps = _timed(
                 lambda: run_batch(ds.tables, config, workload, storage), reps
             )
         with fast_path(batch_kernels=True, fuse_charges=True):
-            after_s, after = _timed(
+            after_s, after, after_reps = _timed(
                 lambda: run_batch(ds.tables, config, workload, storage), reps
             )
         if _engine_fingerprint(before) != _engine_fingerprint(after):
@@ -93,20 +103,28 @@ def bench_engines(n: int, sf: float, seed: int, reps: int = 1) -> dict:
             "before_s": round(before_s, 3),
             "after_s": round(after_s, 3),
             "speedup": round(before_s / after_s, 2) if after_s else None,
+            "before": _spread(before_reps),
+            "after": _spread(after_reps),
         }
     return out
 
 
 def bench_experiment(name: str, fn, reps: int = 1) -> dict:
-    """One full paper experiment (its default settings), both modes."""
+    """One full paper experiment (its default settings), both modes.
+
+    ``fn`` already has the fabric ``jobs`` count baked in (see ``main``);
+    both modes use the same count, so the before/after speedup still
+    isolates the fast path."""
     with fast_path(batch_kernels=False, fuse_charges=False):
-        before_s, _ = _timed(fn, reps)
+        before_s, _, before_reps = _timed(fn, reps)
     with fast_path(batch_kernels=True, fuse_charges=True):
-        after_s, _ = _timed(fn, reps)
+        after_s, _, after_reps = _timed(fn, reps)
     return {
         "before_s": round(before_s, 1),
         "after_s": round(after_s, 1),
         "speedup": round(before_s / after_s, 2) if after_s else None,
+        "before": _spread(before_reps),
+        "after": _spread(after_reps),
     }
 
 
@@ -119,14 +137,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--reps", type=int, default=None,
                         help="repetitions per timing (best-of-N; default 2, "
                              "1 with --fast)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="fabric worker processes for the experiment "
+                             "sweeps (default: REPRO_JOBS or 1)")
     args = parser.parse_args(argv)
     reps = args.reps if args.reps is not None else (1 if args.fast else 2)
 
+    from repro.parallel import resolve_jobs
+
+    jobs = resolve_jobs(args.jobs)
     report: dict = {
         "host": {
             "python": platform.python_version(),
             "machine": platform.machine(),
             "mode": "fast" if args.fast else "default",
+            "cpus": os.cpu_count(),
+            "jobs": jobs,
         },
         "engines": {},
         "experiments": {},
@@ -137,20 +163,21 @@ def main(argv: list[str] | None = None) -> int:
         report["engines"] = bench_engines(n=16, sf=0.5, seed=42, reps=reps)
         report["experiments"]["fig10_concurrency"] = bench_experiment(
             "fig10", lambda: fig10_concurrency(
-                concurrency=(1, 8), sf=0.5, resident=("memory",)),
+                concurrency=(1, 8), sf=0.5, resident=("memory",), jobs=jobs),
             reps,
         )
         report["experiments"]["fig13_scale_factor"] = bench_experiment(
-            "fig13", lambda: fig13_scale_factor(scale_factors=(0.5,), n_queries=4),
+            "fig13", lambda: fig13_scale_factor(
+                scale_factors=(0.5,), n_queries=4, jobs=jobs),
             reps,
         )
     else:
         report["engines"] = bench_engines(n=64, sf=1.0, seed=42, reps=reps)
         report["experiments"]["fig10_concurrency"] = bench_experiment(
-            "fig10", fig10_concurrency, reps
+            "fig10", lambda: fig10_concurrency(jobs=jobs), reps
         )
         report["experiments"]["fig13_scale_factor"] = bench_experiment(
-            "fig13", fig13_scale_factor, reps
+            "fig13", lambda: fig13_scale_factor(jobs=jobs), reps
         )
 
     args.out.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
@@ -160,7 +187,8 @@ def main(argv: list[str] | None = None) -> int:
     for section in ("engines", "experiments"):
         for name, cell in report[section].items():
             print(f"  {name:<{width}}  before {cell['before_s']:>8}s"
-                  f"  after {cell['after_s']:>8}s  speedup {cell['speedup']}x")
+                  f"  after {cell['after_s']:>8}s  speedup {cell['speedup']}x"
+                  f"  (median after {cell['after']['median_s']}s)")
     slow = [
         name
         for section in ("engines", "experiments")

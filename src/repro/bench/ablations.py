@@ -15,6 +15,10 @@ These are not paper figures; they isolate the mechanisms behind them:
   tracking the lower envelope of No-SP and always-share under FIFO.
 * **hybrid routing** -- the paper's concluding recommendation: dynamically
   choose query-centric + SP vs GQP + SP by load.
+
+Like the paper figures in :mod:`repro.bench.experiments`, every ablation
+enumerates :class:`~repro.parallel.CellSpec`\\ s and runs them through the
+parallel fabric (``jobs``/``REPRO_JOBS``).
 """
 
 from __future__ import annotations
@@ -22,17 +26,11 @@ from __future__ import annotations
 import dataclasses
 from typing import Sequence
 
-from repro.bench.experiments import MEMORY, ExperimentResult
+from repro.bench.experiments import MEMORY, ExperimentResult, _sweep
 from repro.bench.reporting import format_series
-from repro.bench.runner import HYBRID, run_batch
-from repro.bench.workload import (
-    q32_random_workload,
-    q32_selectivity_workload,
-    tpch_q1_workload,
-)
-from repro.data.ssb import generate_ssb
-from repro.data.tpch import generate_tpch
-from repro.engine.config import CJOIN, CJOIN_SP, QPIPE, QPIPE_CS, QPIPE_SP
+from repro.bench.runner import HYBRID
+from repro.engine.config import CJOIN, QPIPE, QPIPE_CS, QPIPE_SP, CJOIN_SP
+from repro.parallel import CellSpec, DatasetSpec, WorkloadSpec
 from repro.sim.machine import PAPER_MACHINE
 
 
@@ -42,20 +40,31 @@ def ablate_distributor_parts(
     selectivity: float = 0.30,
     sf: float = 10.0,
     seed: int = 42,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Single-threaded distributor vs distributor parts."""
-    ds = generate_ssb(sf, seed)
-    workload = q32_selectivity_workload(n_queries, selectivity, seed)
-    rts = []
-    for p in parts:
-        cfg = dataclasses.replace(CJOIN, distributor_parts=p)
-        rts.append(run_batch(ds.tables, cfg, workload, MEMORY).mean_response)
+    workload = WorkloadSpec("q32-selectivity", n=n_queries, selectivity=selectivity, seed=seed)
+    specs = [
+        CellSpec(
+            key=f"parts{p}",
+            config=dataclasses.replace(CJOIN, distributor_parts=p),
+            dataset=DatasetSpec("ssb", sf, seed),
+            workload=workload,
+            storage=MEMORY,
+        )
+        for p in parts
+    ]
+    out = _sweep(specs, jobs)
+    rts = [out.cell(f"parts{p}").mean_response for p in parts]
     table = format_series(
         f"Ablation: CJOIN distributor parts ({n_queries} queries, {100*selectivity:g}% selectivity)",
         "parts", list(parts), {"response_s": rts},
         note="paper 3.2: the original single-threaded distributor slows the pipeline",
     )
-    return ExperimentResult("ablate_distributor", [table], {"parts": list(parts), "rt": rts})
+    return ExperimentResult(
+        "ablate_distributor", [table], {"parts": list(parts), "rt": rts},
+        timings=out.timings(),
+    )
 
 
 def ablate_filter_workers(
@@ -63,19 +72,29 @@ def ablate_filter_workers(
     n_queries: int = 64,
     sf: float = 1.0,
     seed: int = 42,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Width of CJOIN's horizontal thread configuration."""
-    ds = generate_ssb(sf, seed)
-    workload = q32_random_workload(n_queries, seed)
-    rts = []
-    for w in workers:
-        cfg = dataclasses.replace(CJOIN, filter_workers=w)
-        rts.append(run_batch(ds.tables, cfg, workload, MEMORY).mean_response)
+    specs = [
+        CellSpec(
+            key=f"w{w}",
+            config=dataclasses.replace(CJOIN, filter_workers=w),
+            dataset=DatasetSpec("ssb", sf, seed),
+            workload=WorkloadSpec("q32-random", n=n_queries, seed=seed),
+            storage=MEMORY,
+        )
+        for w in workers
+    ]
+    out = _sweep(specs, jobs)
+    rts = [out.cell(f"w{w}").mean_response for w in workers]
     table = format_series(
         f"Ablation: CJOIN filter workers ({n_queries} random queries, SF={sf:g})",
         "workers", list(workers), {"response_s": rts},
     )
-    return ExperimentResult("ablate_filters", [table], {"workers": list(workers), "rt": rts})
+    return ExperimentResult(
+        "ablate_filters", [table], {"workers": list(workers), "rt": rts},
+        timings=out.timings(),
+    )
 
 
 def ablate_oversubscription(
@@ -83,50 +102,77 @@ def ablate_oversubscription(
     n_queries: int = 64,
     sf: float = 1.0,
     seed: int = 42,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """The superlinear thrash term behind the query-centric collapse."""
-    ds = generate_ssb(sf, seed)
-    workload = q32_random_workload(n_queries, seed)
-    rts = []
-    for k in penalties:
-        machine = dataclasses.replace(PAPER_MACHINE, oversub_penalty=k)
-        rts.append(run_batch(ds.tables, QPIPE, workload, MEMORY, machine=machine).mean_response)
+    specs = [
+        CellSpec(
+            key=f"k{k:g}",
+            config=QPIPE,
+            dataset=DatasetSpec("ssb", sf, seed),
+            workload=WorkloadSpec("q32-random", n=n_queries, seed=seed),
+            storage=MEMORY,
+            machine=dataclasses.replace(PAPER_MACHINE, oversub_penalty=k),
+        )
+        for k in penalties
+    ]
+    out = _sweep(specs, jobs)
+    rts = [out.cell(f"k{k:g}").mean_response for k in penalties]
     table = format_series(
         f"Ablation: CPU oversubscription penalty, QPipe with {n_queries} queries",
         "penalty_k", list(penalties), {"response_s": rts},
         note="k=0 -> fair-share only; the paper's 'excessive and unpredictable' regime needs k>0",
     )
-    return ExperimentResult("ablate_oversub", [table], {"penalties": list(penalties), "rt": rts})
+    return ExperimentResult(
+        "ablate_oversub", [table], {"penalties": list(penalties), "rt": rts},
+        timings=out.timings(),
+    )
 
 
 def ablate_prediction_model(
     concurrency: Sequence[int] = (2, 8, 32, 64),
     sf: float = 1.0,
     seed: int = 42,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Push-based SP with and without the run-time prediction model."""
-    ds = generate_tpch(sf, seed)
     nosp = QPIPE.with_comm("fifo")
     cs = QPIPE_CS.with_comm("fifo")
     pred = dataclasses.replace(cs, sp_prediction=True, name="CS (FIFO+pred)")
-    series = {c.name: [] for c in (nosp, cs, pred)}
-    for n in concurrency:
-        workload = tpch_q1_workload(n, ds)
-        for cfg in (nosp, cs, pred):
-            series[cfg.name].append(run_batch(ds.tables, cfg, workload, MEMORY).mean_response)
+    configs = (nosp, cs, pred)
+    specs = [
+        CellSpec(
+            key=f"{cfg.name}/n{n}",
+            config=cfg,
+            dataset=DatasetSpec("tpch", sf, seed),
+            workload=WorkloadSpec("tpch-q1", n=n, seed=seed),
+            storage=MEMORY,
+        )
+        for n in concurrency
+        for cfg in configs
+    ]
+    out = _sweep(specs, jobs)
+    series = {
+        cfg.name: [out.cell(f"{cfg.name}/n{n}").mean_response for n in concurrency]
+        for cfg in configs
+    }
     table = format_series(
         "Ablation: push-based SP prediction model (identical TPC-H Q1)",
         "queries", list(concurrency), series,
         note="the model should track the lower envelope of the other two "
         "(the paper's point: with SPL no model is needed at all)",
     )
-    return ExperimentResult("ablate_prediction", [table], {"concurrency": list(concurrency), "rt": series})
+    return ExperimentResult(
+        "ablate_prediction", [table], {"concurrency": list(concurrency), "rt": series},
+        timings=out.timings(),
+    )
 
 
 def ablate_thread_configuration(
     concurrency: Sequence[int] = (8, 64),
     sf: float = 1.0,
     seed: int = 42,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """CJOIN horizontal vs vertical thread configuration (Section 5.2.2).
 
@@ -134,24 +180,32 @@ def ablate_thread_configuration(
     synchronization but "these configurations, however, do not necessarily
     provide better performance" -- so the expectation is parity within a
     small factor, not a winner."""
-    import dataclasses
-
-    from repro.engine.config import CJOIN as _CJOIN
-
-    vertical = dataclasses.replace(_CJOIN, cjoin_threads="vertical", name="CJOIN-vertical")
-    ds = generate_ssb(sf, seed)
-    series: dict[str, list[float]] = {"horizontal": [], "vertical": []}
-    for n in concurrency:
-        workload = q32_random_workload(n, seed)
-        series["horizontal"].append(run_batch(ds.tables, _CJOIN, workload, MEMORY).mean_response)
-        series["vertical"].append(run_batch(ds.tables, vertical, workload, MEMORY).mean_response)
+    vertical = dataclasses.replace(CJOIN, cjoin_threads="vertical", name="CJOIN-vertical")
+    configs = {"horizontal": CJOIN, "vertical": vertical}
+    specs = [
+        CellSpec(
+            key=f"{label}/n{n}",
+            config=cfg,
+            dataset=DatasetSpec("ssb", sf, seed),
+            workload=WorkloadSpec("q32-random", n=n, seed=seed),
+            storage=MEMORY,
+        )
+        for n in concurrency
+        for label, cfg in configs.items()
+    ]
+    out = _sweep(specs, jobs)
+    series = {
+        label: [out.cell(f"{label}/n{n}").mean_response for n in concurrency]
+        for label in configs
+    }
     table = format_series(
         "Ablation: CJOIN thread configuration (horizontal pool vs one thread per filter)",
         "queries", list(concurrency), series,
         note="paper 5.2.2: neither configuration necessarily wins",
     )
     return ExperimentResult(
-        "ablate_threads", [table], {"concurrency": list(concurrency), "rt": series}
+        "ablate_threads", [table], {"concurrency": list(concurrency), "rt": series},
+        timings=out.timings(),
     )
 
 
@@ -160,6 +214,7 @@ def ablate_batched_execution(
     n_queries: int = 8,
     sf: float = 1.0,
     seed: int = 42,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """SharedDB-style batched execution vs CJOIN's continuous admission.
 
@@ -168,26 +223,33 @@ def ablate_batched_execution(
     misalignment; continuous admission joins the circular scan immediately.
     (Paper 2.4: "a new query may suffer increased latency, and the latency
     of a batch is dominated by the longest-running query.")"""
-    import dataclasses
-
-    from repro.engine.config import CJOIN as _CJOIN
-
-    batched_cfg = dataclasses.replace(_CJOIN, gqp_batched_execution=True, name="CJOIN-batched")
-    ds = generate_ssb(sf, seed)
-    workload = q32_random_workload(n_queries, seed)
-    series: dict[str, list[float]] = {"CJOIN (continuous)": [], "CJOIN (batched)": []}
-    for d in delays:
-        cont = run_batch(ds.tables, _CJOIN, workload, MEMORY, submit_stagger=d)
-        bat = run_batch(ds.tables, batched_cfg, workload, MEMORY, submit_stagger=d)
-        series["CJOIN (continuous)"].append(cont.mean_response)
-        series["CJOIN (batched)"].append(bat.mean_response)
+    batched_cfg = dataclasses.replace(CJOIN, gqp_batched_execution=True, name="CJOIN-batched")
+    configs = {"CJOIN (continuous)": CJOIN, "CJOIN (batched)": batched_cfg}
+    specs = [
+        CellSpec(
+            key=f"{label}/d{d:g}",
+            config=cfg,
+            dataset=DatasetSpec("ssb", sf, seed),
+            workload=WorkloadSpec("q32-random", n=n_queries, seed=seed),
+            storage=MEMORY,
+            submit_stagger=d,
+        )
+        for d in delays
+        for label, cfg in configs.items()
+    ]
+    out = _sweep(specs, jobs)
+    series = {
+        label: [out.cell(f"{label}/d{d:g}").mean_response for d in delays]
+        for label in configs
+    }
     table = format_series(
         f"Ablation: SharedDB-style batched execution ({n_queries} queries, staggered arrivals)",
         "interarrival_s", list(delays), series,
         note="paper 2.4: batching admits between generations; late arrivals pay latency",
     )
     return ExperimentResult(
-        "ablate_batching", [table], {"delays": list(delays), "rt": series}
+        "ablate_batching", [table], {"delays": list(delays), "rt": series},
+        timings=out.timings(),
     )
 
 
@@ -196,6 +258,7 @@ def interarrival_sweep(
     n_queries: int = 16,
     sf: float = 1.0,
     seed: int = 42,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Sharing opportunities vs interarrival delay (the WoP in action).
 
@@ -208,15 +271,21 @@ def interarrival_sweep(
     the host's time-to-first-output; the *linear*-WoP circular scan keeps
     sharing as long as executions overlap at all; response times rise
     accordingly."""
-    from repro.query.ssb_queries import q32
-    from repro.bench.workload import QueryJob
-
-    ds = generate_ssb(sf, seed)
-    spec = q32("CHINA", "FRANCE", 1993, 1996)
-    workload = [QueryJob(spec=spec) for _ in range(n_queries)]
+    specs = [
+        CellSpec(
+            key=f"d{d:g}",
+            config=QPIPE_SP,
+            dataset=DatasetSpec("ssb", sf, seed),
+            workload=WorkloadSpec("q32-fixed", n=n_queries),
+            storage=MEMORY,
+            submit_stagger=d,
+        )
+        for d in delays
+    ]
+    out = _sweep(specs, jobs)
     rts, join_shares, scan_shares = [], [], []
     for d in delays:
-        r = run_batch(ds.tables, QPIPE_SP, workload, MEMORY, submit_stagger=d)
+        r = out.cell(f"d{d:g}")
         rts.append(r.mean_response)
         join_shares.append(sum(v for k, v in r.sharing.items() if k.startswith("join")))
         scan_shares.append(r.sharing.get("tablescan", 0))
@@ -232,6 +301,7 @@ def interarrival_sweep(
         "interarrival",
         [table],
         {"delays": list(delays), "rt": rts, "join_shares": join_shares, "scan_shares": scan_shares},
+        timings=out.timings(),
     )
 
 
@@ -239,19 +309,33 @@ def ablate_hybrid_routing(
     concurrency: Sequence[int] = (2, 16, 64, 128),
     sf: float = 1.0,
     seed: int = 42,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """The paper's conclusion as a live policy: hybrid routing vs the two
     static choices."""
-    ds = generate_ssb(sf, seed)
-    series: dict[str, list[float]] = {"QPipe-SP": [], "CJOIN-SP": [], "Hybrid": []}
-    for n in concurrency:
-        workload = q32_random_workload(n, seed)
-        series["QPipe-SP"].append(run_batch(ds.tables, QPIPE_SP, workload, MEMORY).mean_response)
-        series["CJOIN-SP"].append(run_batch(ds.tables, CJOIN_SP, workload, MEMORY).mean_response)
-        series["Hybrid"].append(run_batch(ds.tables, HYBRID, workload, MEMORY).mean_response)
+    selectors = {"QPipe-SP": QPIPE_SP, "CJOIN-SP": CJOIN_SP, "Hybrid": HYBRID}
+    specs = [
+        CellSpec(
+            key=f"{name}/n{n}",
+            config=sel,
+            dataset=DatasetSpec("ssb", sf, seed),
+            workload=WorkloadSpec("q32-random", n=n, seed=seed),
+            storage=MEMORY,
+        )
+        for n in concurrency
+        for name, sel in selectors.items()
+    ]
+    out = _sweep(specs, jobs)
+    series = {
+        name: [out.cell(f"{name}/n{n}").mean_response for n in concurrency]
+        for name in selectors
+    }
     table = format_series(
         "Ablation: dynamic hybrid routing (random Q3.2, memory-resident)",
         "queries", list(concurrency), series,
         note="hybrid should track the better static choice at both extremes",
     )
-    return ExperimentResult("ablate_hybrid", [table], {"concurrency": list(concurrency), "rt": series})
+    return ExperimentResult(
+        "ablate_hybrid", [table], {"concurrency": list(concurrency), "rt": series},
+        timings=out.timings(),
+    )

@@ -6,6 +6,13 @@ rows/series the paper plots.  Parameters default to *fast* settings so the
 benchmark suite completes in minutes; pass ``full=True`` (or the explicit
 knobs) for the paper-scale sweeps recorded in EXPERIMENTS.md.
 
+Every sweep enumerates its grid as :class:`~repro.parallel.CellSpec`\\ s
+and executes them through the parallel fabric (:func:`repro.parallel.
+run_cells`): ``jobs=1`` (the default) is the exact serial path, ``jobs=N``
+(or ``REPRO_JOBS=N``) fans cells out across a process pool with
+byte-identical results (cells are deterministic in their spec; see
+``repro/parallel/cells.py``).
+
 Paper-vs-measured expectations (the *shape* claims each experiment must
 reproduce) are documented per function and asserted loosely in
 ``tests/bench/test_experiments.py``.
@@ -14,29 +21,21 @@ reproduce) are documented per function and asserted loosely in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.baselines.volcano import VolcanoEngine  # noqa: F401 (re-export convenience)
 from repro.bench.reporting import format_series, format_table
 from repro.bench.runner import (
     POSTGRES,
     RunResult,
-    run_batch,
-    run_closed_loop,
-)
-from repro.bench.workload import (
-    mix_spec_factory,
-    q32_limited_plans_workload,
-    q32_random_workload,
-    q32_selectivity_workload,
-    ssb_mix_workload,
-    tpch_q1_workload,
+    run_batch,  # noqa: F401 (re-export: ad-hoc single cells)
+    run_closed_loop,  # noqa: F401 (re-export)
 )
 from repro.data.ssb import generate_ssb
-from repro.data.tpch import generate_tpch
 from repro.engine.config import CJOIN, CJOIN_SP, QPIPE, QPIPE_CS, QPIPE_SP
 from repro.engine.wop import WindowOfOpportunity, wop_gain
-from repro.sim.machine import GB, PAPER_MACHINE
+from repro.parallel import CellSpec, DatasetSpec, SweepOutcome, WorkloadSpec, run_cells
+from repro.sim.machine import GB
 from repro.sim.metrics import CATEGORIES
 from repro.storage.manager import StorageConfig
 
@@ -63,6 +62,11 @@ class ExperimentResult:
     experiment: str
     tables: list[str] = field(default_factory=list)
     data: dict[str, Any] = field(default_factory=dict)
+    #: host-side attribution from the parallel fabric: ``jobs``, total
+    #: ``wall_s``, and per-cell ``{wall_s, worker, retried}`` -- see
+    #: :meth:`repro.parallel.SweepOutcome.timings`.  Empty for derived
+    #: (non-sweep) experiments like fig2.
+    timings: dict[str, Any] = field(default_factory=dict)
 
     def render(self) -> str:
         return "\n\n".join(self.tables)
@@ -73,6 +77,29 @@ class ExperimentResult:
 
 def _rt_series(results: dict[str, list[RunResult]]) -> dict[str, list[float]]:
     return {name: [r.mean_response for r in rs] for name, rs in results.items()}
+
+
+def _progress() -> Callable[[str], None] | None:
+    """Sweeps print ordered per-cell progress only when the fabric was
+    asked for it (``REPRO_PROGRESS=1``); library callers stay quiet."""
+    import os
+
+    if os.environ.get("REPRO_PROGRESS"):
+        return lambda line: print(line, flush=True)
+    return None
+
+
+def _cell_timeout() -> float | None:
+    """Per-cell wall-clock budget, settable from the CLI
+    (``repro sweep --timeout``) via ``REPRO_CELL_TIMEOUT``."""
+    import os
+
+    raw = os.environ.get("REPRO_CELL_TIMEOUT")
+    return float(raw) if raw else None
+
+
+def _sweep(specs: Sequence[CellSpec], jobs: int | None) -> SweepOutcome:
+    return run_cells(specs, jobs=jobs, timeout=_cell_timeout(), progress=_progress())
 
 
 # ---------------------------------------------------------------------------
@@ -107,6 +134,7 @@ def fig6_push_vs_pull(
     sf: float = 1.0,
     seed: int = 42,
     full: bool = False,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Paper Figure 6a/b/c: identical TPC-H Q1 queries, No-SP vs circular
     scans (CS), with FIFO (push) vs SPL (pull) communication.
@@ -117,23 +145,28 @@ def fig6_push_vs_pull(
     concurrency; No-SP degrades sharply once plans exceed 24 cores."""
     if full:
         concurrency = (1, 2, 4, 8, 16, 32, 64)
-    ds = generate_tpch(sf, seed)
-    cells: dict[str, list[RunResult]] = {
-        "NoSP(FIFO)": [],
-        "CS(FIFO)": [],
-        "NoSP(SPL)": [],
-        "CS(SPL)": [],
-    }
+    dataset = DatasetSpec("tpch", sf, seed)
     selectors = {
         "NoSP(FIFO)": QPIPE.with_comm("fifo"),
         "CS(FIFO)": QPIPE_CS.with_comm("fifo"),
         "NoSP(SPL)": QPIPE.with_comm("spl"),
         "CS(SPL)": QPIPE_CS.with_comm("spl"),
     }
-    for n in concurrency:
-        workload = tpch_q1_workload(n, ds)
-        for name, cfg in selectors.items():
-            cells[name].append(run_batch(ds.tables, cfg, workload, MEMORY))
+    specs = [
+        CellSpec(
+            key=f"{name}/n{n}",
+            config=cfg,
+            dataset=dataset,
+            workload=WorkloadSpec("tpch-q1", n=n, seed=seed),
+            storage=MEMORY,
+        )
+        for n in concurrency
+        for name, cfg in selectors.items()
+    ]
+    out = _sweep(specs, jobs)
+    cells: dict[str, list[RunResult]] = {
+        name: [out.cell(f"{name}/n{n}") for n in concurrency] for name in selectors
+    }
     rt = _rt_series(cells)
     t_resp = format_series(
         "Figure 6a/6b: TPC-H Q1 response time (s), push vs pull SP",
@@ -168,6 +201,7 @@ def fig6_push_vs_pull(
         "fig6",
         [t_resp, t_speed, t_meta],
         {"concurrency": list(concurrency), "rt": rt, "speedups": speedups, "reduction": reduction, "cells": cells},
+        timings=out.timings(),
     )
 
 
@@ -182,6 +216,7 @@ def fig10_concurrency(
     seed: int = 42,
     resident: Sequence[str] = ("memory", "disk"),
     full: bool = False,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Paper Figure 10: random-predicate Q3.2 instances, 1..256 queries.
 
@@ -191,17 +226,28 @@ def fig10_concurrency(
     independent scans at high concurrency."""
     if full:
         concurrency = (1, 2, 4, 8, 16, 32, 64, 128, 256)
-    ds = generate_ssb(sf, seed)
+    dataset = DatasetSpec("ssb", sf, seed)
     configs = (QPIPE, QPIPE_CS, QPIPE_SP, CJOIN)
+    specs = [
+        CellSpec(
+            key=f"{res}/{cfg.name}/n{n}",
+            config=cfg,
+            dataset=dataset,
+            workload=WorkloadSpec("q32-random", n=n, seed=seed),
+            storage=MEMORY if res == "memory" else disk_config(),
+        )
+        for res in resident
+        for n in concurrency
+        for cfg in configs
+    ]
+    out = _sweep(specs, jobs)
     tables: list[str] = []
     data: dict[str, Any] = {"concurrency": list(concurrency)}
     for res in resident:
-        storage = MEMORY if res == "memory" else disk_config()
-        cells: dict[str, list[RunResult]] = {c.name: [] for c in configs}
-        for n in concurrency:
-            workload = q32_random_workload(n, seed)
-            for cfg in configs:
-                cells[cfg.name].append(run_batch(ds.tables, cfg, workload, storage))
+        cells: dict[str, list[RunResult]] = {
+            cfg.name: [out.cell(f"{res}/{cfg.name}/n{n}") for n in concurrency]
+            for cfg in configs
+        }
         rt = _rt_series(cells)
         tables.append(
             format_series(
@@ -233,7 +279,7 @@ def fig10_concurrency(
             note="paper (256q): 1st hash-join 126, 2nd 17, 3rd 1 (on average)",
         )
     )
-    return ExperimentResult("fig10", tables, data)
+    return ExperimentResult("fig10", tables, data, timings=out.timings())
 
 
 # ---------------------------------------------------------------------------
@@ -247,6 +293,7 @@ def fig11_selectivity(
     sf: float = 10.0,
     seed: int = 42,
     full: bool = False,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Paper Figure 11: modified Q3.2 at 0.1%..30% fact selectivity, low
     concurrency (8 queries: no CPU contention).
@@ -258,12 +305,23 @@ def fig11_selectivity(
     query; CJOIN hashes once)."""
     if full:
         selectivities = (0.001, 0.01, 0.10, 0.20, 0.30)
-    ds = generate_ssb(sf, seed)
-    cells: dict[str, list[RunResult]] = {"QPipe-SP": [], "CJOIN": []}
-    for sel in selectivities:
-        workload = q32_selectivity_workload(n_queries, sel, seed)
-        cells["QPipe-SP"].append(run_batch(ds.tables, QPIPE_SP, workload, MEMORY))
-        cells["CJOIN"].append(run_batch(ds.tables, CJOIN, workload, MEMORY))
+    dataset = DatasetSpec("ssb", sf, seed)
+    configs = {"QPipe-SP": QPIPE_SP, "CJOIN": CJOIN}
+    specs = [
+        CellSpec(
+            key=f"{name}/sel{sel:g}",
+            config=cfg,
+            dataset=dataset,
+            workload=WorkloadSpec("q32-selectivity", n=n_queries, selectivity=sel, seed=seed),
+            storage=MEMORY,
+        )
+        for sel in selectivities
+        for name, cfg in configs.items()
+    ]
+    out = _sweep(specs, jobs)
+    cells: dict[str, list[RunResult]] = {
+        name: [out.cell(f"{name}/sel{sel:g}") for sel in selectivities] for name in configs
+    }
     rt = _rt_series(cells)
     rt["CJOIN admission"] = [r.admission_seconds for r in cells["CJOIN"]]
     xs = [f"{100 * s:g}%" for s in selectivities]
@@ -287,7 +345,10 @@ def fig11_selectivity(
             )
         )
     return ExperimentResult(
-        "fig11", tables, {"selectivities": list(selectivities), "rt": rt, "cells": cells}
+        "fig11",
+        tables,
+        {"selectivities": list(selectivities), "rt": rt, "cells": cells},
+        timings=out.timings(),
     )
 
 
@@ -302,6 +363,7 @@ def fig12_selectivity_concurrency(
     sf: float = 10.0,
     seed: int = 42,
     full: bool = False,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Paper Figure 12: 30% selectivity, rising concurrency.
 
@@ -311,12 +373,23 @@ def fig12_selectivity_concurrency(
     verdict."""
     if full:
         concurrency = (16, 32, 64, 128, 256)
-    ds = generate_ssb(sf, seed)
-    cells: dict[str, list[RunResult]] = {"QPipe-SP": [], "CJOIN": []}
-    for n in concurrency:
-        workload = q32_selectivity_workload(n, selectivity, seed)
-        cells["QPipe-SP"].append(run_batch(ds.tables, QPIPE_SP, workload, MEMORY))
-        cells["CJOIN"].append(run_batch(ds.tables, CJOIN, workload, MEMORY))
+    dataset = DatasetSpec("ssb", sf, seed)
+    configs = {"QPipe-SP": QPIPE_SP, "CJOIN": CJOIN}
+    specs = [
+        CellSpec(
+            key=f"{name}/n{n}",
+            config=cfg,
+            dataset=dataset,
+            workload=WorkloadSpec("q32-selectivity", n=n, selectivity=selectivity, seed=seed),
+            storage=MEMORY,
+        )
+        for n in concurrency
+        for name, cfg in configs.items()
+    ]
+    out = _sweep(specs, jobs)
+    cells: dict[str, list[RunResult]] = {
+        name: [out.cell(f"{name}/n{n}") for n in concurrency] for name in configs
+    }
     rt = _rt_series(cells)
     rt["CJOIN admission"] = [r.admission_seconds for r in cells["CJOIN"]]
     tables = [
@@ -340,6 +413,7 @@ def fig12_selectivity_concurrency(
         "fig12",
         tables,
         {"concurrency": list(concurrency), "rt": rt, "hashing": hashing, "cells": cells},
+        timings=out.timings(),
     )
 
 
@@ -353,6 +427,7 @@ def fig13_scale_factor(
     n_queries: int = 8,
     seed: int = 42,
     full: bool = False,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Paper Figure 13: disk-resident databases, SF 1..100, with and
     without direct I/O.
@@ -363,23 +438,27 @@ def fig13_scale_factor(
     below QPipe-SP's, while buffered I/O masks it."""
     if full:
         scale_factors = (1.0, 10.0, 30.0, 50.0, 100.0)
-    series: dict[str, list[float]] = {
-        "QPipe-SP": [],
-        "CJOIN": [],
-        "QPipe-SP (Direct I/O)": [],
-        "CJOIN (Direct I/O)": [],
-    }
-    read_rates: dict[str, list[float]] = {k: [] for k in series}
-    for sf in scale_factors:
-        ds = generate_ssb(sf, seed)
-        workload = q32_random_workload(n_queries, seed)
+    specs = [
+        CellSpec(
+            key=f"{cfg.name}{' (Direct I/O)' if direct else ''}/sf{sf:g}",
+            config=cfg,
+            dataset=DatasetSpec("ssb", sf, seed),
+            workload=WorkloadSpec("q32-random", n=n_queries, seed=seed),
+            storage=disk_config(direct_io=direct),
+        )
+        for sf in scale_factors
+        for direct in (False, True)
+        for cfg in (QPIPE_SP, CJOIN)
+    ]
+    out = _sweep(specs, jobs)
+    series: dict[str, list[float]] = {}
+    read_rates: dict[str, list[float]] = {}
+    for cfg in (QPIPE_SP, CJOIN):
         for direct in (False, True):
-            storage = disk_config(direct_io=direct)
-            for cfg in (QPIPE_SP, CJOIN):
-                r = run_batch(ds.tables, cfg, workload, storage)
-                key = f"{cfg.name} (Direct I/O)" if direct else cfg.name
-                series[key].append(r.mean_response)
-                read_rates[key].append(r.avg_read_mb_s)
+            key = f"{cfg.name} (Direct I/O)" if direct else cfg.name
+            results = [out.cell(f"{key}/sf{sf:g}") for sf in scale_factors]
+            series[key] = [r.mean_response for r in results]
+            read_rates[key] = [r.avg_read_mb_s for r in results]
     tables = [
         format_series(
             f"Figure 13: response time (s) vs scale factor ({n_queries} queries, disk)",
@@ -396,6 +475,7 @@ def fig13_scale_factor(
         "fig13",
         tables,
         {"scale_factors": list(scale_factors), "rt": series, "read_rates": read_rates},
+        timings=out.timings(),
     )
 
 
@@ -410,6 +490,7 @@ def fig14_similarity(
     sf: float = 1.0,
     seed: int = 42,
     full: bool = False,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Paper Figure 14: 16 possible Q3.2 plans, disk-resident SF=1.
 
@@ -418,13 +499,23 @@ def fig14_similarity(
     CJOIN-SP shares whole CJOIN packets (~239 times in the paper)."""
     if full:
         concurrency = (1, 2, 4, 8, 16, 32, 64, 128, 256)
-    ds = generate_ssb(sf, seed)
+    dataset = DatasetSpec("ssb", sf, seed)
     configs = (QPIPE_CS, QPIPE_SP, CJOIN, CJOIN_SP)
-    cells: dict[str, list[RunResult]] = {c.name: [] for c in configs}
-    for n in concurrency:
-        workload = q32_limited_plans_workload(n, min(n_plans, n), seed)
-        for cfg in configs:
-            cells[cfg.name].append(run_batch(ds.tables, cfg, workload, disk_config()))
+    specs = [
+        CellSpec(
+            key=f"{cfg.name}/n{n}",
+            config=cfg,
+            dataset=dataset,
+            workload=WorkloadSpec("q32-plans", n=n, n_plans=min(n_plans, n), seed=seed),
+            storage=disk_config(),
+        )
+        for n in concurrency
+        for cfg in configs
+    ]
+    out = _sweep(specs, jobs)
+    cells: dict[str, list[RunResult]] = {
+        cfg.name: [out.cell(f"{cfg.name}/n{n}") for n in concurrency] for cfg in configs
+    }
     rt = _rt_series(cells)
     hi = len(concurrency) - 1
     tables = [
@@ -449,7 +540,10 @@ def fig14_similarity(
         ),
     ]
     return ExperimentResult(
-        "fig14", tables, {"concurrency": list(concurrency), "rt": rt, "cells": cells}
+        "fig14",
+        tables,
+        {"concurrency": list(concurrency), "rt": rt, "cells": cells},
+        timings=out.timings(),
     )
 
 
@@ -464,6 +558,7 @@ def fig15_plan_variety(
     sf: float = 10.0,
     seed: int = 42,
     full: bool = False,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Paper Figure 15: 512 queries over SF=100 (buffer pool ~10% of the
     database), varying the number of possible plans (None = fully random).
@@ -474,20 +569,33 @@ def fig15_plan_variety(
     if full:
         n_queries, sf = 512, 100.0
         plan_counts = (1, 128, 256, 512, None)
-    ds = generate_ssb(sf, seed)
+    ds = generate_ssb(sf, seed)  # parent-side: the buffer-pool bound needs its size
     bp = max(ds.real_bytes * 0.10, 1 * GB)
     storage = disk_config(bufferpool_bytes=bp, os_cache_bytes=bp)
+    dataset = DatasetSpec("ssb", sf, seed)
     configs = (QPIPE_SP, CJOIN, CJOIN_SP)
-    cells: dict[str, list[RunResult]] = {c.name: [] for c in configs}
-    xs: list[str] = []
-    for count in plan_counts:
-        xs.append("Random" if count is None else str(count))
+    xs = ["Random" if count is None else str(count) for count in plan_counts]
+
+    def _workload(count: int | None) -> WorkloadSpec:
         if count is None:
-            workload = q32_random_workload(n_queries, seed)
-        else:
-            workload = q32_limited_plans_workload(n_queries, count, seed)
-        for cfg in configs:
-            cells[cfg.name].append(run_batch(ds.tables, cfg, workload, storage))
+            return WorkloadSpec("q32-random", n=n_queries, seed=seed)
+        return WorkloadSpec("q32-plans", n=n_queries, n_plans=count, seed=seed)
+
+    specs = [
+        CellSpec(
+            key=f"{cfg.name}/p{x}",
+            config=cfg,
+            dataset=dataset,
+            workload=_workload(count),
+            storage=storage,
+        )
+        for x, count in zip(xs, plan_counts)
+        for cfg in configs
+    ]
+    out = _sweep(specs, jobs)
+    cells: dict[str, list[RunResult]] = {
+        cfg.name: [out.cell(f"{cfg.name}/p{x}") for x in xs] for cfg in configs
+    }
     rt = _rt_series(cells)
     improvements = [
         100 * (1 - rt["CJOIN-SP"][i] / rt["CJOIN"][i]) for i in range(len(xs))
@@ -520,6 +628,7 @@ def fig15_plan_variety(
         "fig15",
         tables,
         {"plans": xs, "rt": rt, "improvements": improvements, "cells": cells},
+        timings=out.timings(),
     )
 
 
@@ -535,6 +644,7 @@ def fig16_mix(
     seed: int = 42,
     duration: float = 600.0,
     full: bool = False,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Paper Figure 16: mix of SSB Q1.1/Q2.1/Q3.2, disk-resident SF=30;
     left: batch response times; right: closed-loop throughput.
@@ -547,14 +657,37 @@ def fig16_mix(
         concurrency = (1, 2, 4, 8, 16, 32, 64, 128, 256)
         clients = (1, 16, 64, 160, 256)
         duration = 1800.0
-    ds = generate_ssb(sf, seed)
+    dataset = DatasetSpec("ssb", sf, seed)
     storage = disk_config()
     selectors = {"Postgres": POSTGRES, "QPipe-SP": QPIPE_SP, "CJOIN-SP": CJOIN_SP}
-    cells: dict[str, list[RunResult]] = {name: [] for name in selectors}
-    for n in concurrency:
-        workload = ssb_mix_workload(n, seed)
-        for name, sel in selectors.items():
-            cells[name].append(run_batch(ds.tables, sel, workload, storage))
+    specs = [
+        CellSpec(
+            key=f"batch/{name}/n{n}",
+            config=sel,
+            dataset=dataset,
+            workload=WorkloadSpec("ssb-mix", n=n, seed=seed),
+            storage=storage,
+        )
+        for n in concurrency
+        for name, sel in selectors.items()
+    ] + [
+        CellSpec(
+            key=f"closed/{name}/c{c}",
+            config=sel,
+            dataset=dataset,
+            workload=WorkloadSpec("mix-factory", seed=seed),
+            storage=storage,
+            mode="closed",
+            n_clients=c,
+            duration=duration,
+        )
+        for c in clients
+        for name, sel in selectors.items()
+    ]
+    out = _sweep(specs, jobs)
+    cells: dict[str, list[RunResult]] = {
+        name: [out.cell(f"batch/{name}/n{n}") for n in concurrency] for name in selectors
+    }
     rt = _rt_series(cells)
     tables = [
         format_series(
@@ -562,12 +695,10 @@ def fig16_mix(
             "queries", list(concurrency), rt,
         )
     ]
-    tput: dict[str, list[float]] = {name: [] for name in selectors}
-    factory = mix_spec_factory(seed)
-    for c in clients:
-        for name, sel in selectors.items():
-            r = run_closed_loop(ds.tables, sel, factory, c, duration, storage)
-            tput[name].append(r.queries_per_hour)
+    tput: dict[str, list[float]] = {
+        name: [out.cell(f"closed/{name}/c{c}").queries_per_hour for c in clients]
+        for name in selectors
+    }
     tables.append(
         format_series(
             f"Figure 16 (right): throughput (queries/hour), {duration:g}s closed loop",
@@ -580,6 +711,7 @@ def fig16_mix(
         "fig16",
         tables,
         {"concurrency": list(concurrency), "rt": rt, "clients": list(clients), "throughput": tput, "cells": cells},
+        timings=out.timings(),
     )
 
 
@@ -593,6 +725,7 @@ def table1_rules_of_thumb(
     high: int = 256,
     sf: float = 1.0,
     seed: int = 42,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Paper Table 1, derived from measurements: pick the best engine
     configuration at low and at high concurrency (plus shared scans in the
@@ -601,15 +734,25 @@ def table1_rules_of_thumb(
 
     Expectation: low concurrency -> query-centric operators + SP;
     high concurrency -> GQP (shared operators) + SP; shared scans always."""
-    ds = generate_ssb(sf, seed)
+    dataset = DatasetSpec("ssb", sf, seed)
     configs = (QPIPE, QPIPE_CS, QPIPE_SP, CJOIN, CJOIN_SP)
+    regimes = (("low", low), ("high", high))
+    specs = [
+        CellSpec(
+            key=f"{label}/{cfg.name}",
+            config=cfg,
+            dataset=dataset,
+            workload=WorkloadSpec("q32-random", n=n, seed=seed),
+            storage=disk_config(),
+        )
+        for label, n in regimes
+        for cfg in configs
+    ]
+    out = _sweep(specs, jobs)
     verdicts = []
     winners: dict[str, str] = {}
-    for label, n in (("low", low), ("high", high)):
-        workload = q32_random_workload(n, seed)
-        results = {
-            cfg.name: run_batch(ds.tables, cfg, workload, disk_config()) for cfg in configs
-        }
+    for label, n in regimes:
+        results = {cfg.name: out.cell(f"{label}/{cfg.name}") for cfg in configs}
         best = min(results.values(), key=lambda r: r.mean_response)
         winners[label] = best.config_name
         verdicts.append([label, n, best.config_name] + [results[c.name].mean_response for c in configs])
@@ -619,7 +762,9 @@ def table1_rules_of_thumb(
         verdicts,
         note="paper: low -> query-centric + SP; high -> GQP + SP; shared scans in the I/O layer always",
     )
-    return ExperimentResult("table1", [table], {"winners": winners, "rows": verdicts})
+    return ExperimentResult(
+        "table1", [table], {"winners": winners, "rows": verdicts}, timings=out.timings()
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -632,6 +777,7 @@ def spl_max_size_ablation(
     n_queries: int = 8,
     sf: float = 1.0,
     seed: int = 42,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Paper Section 4.1 (no graph shown): varying the SPL bound from tiny
     to effectively unbounded "does not heavily affect performance" -- which
@@ -640,17 +786,25 @@ def spl_max_size_ablation(
     Expectation: response time roughly flat across bounds."""
     import dataclasses
 
-    ds = generate_tpch(sf, seed)
-    workload = tpch_q1_workload(n_queries, ds)
-    rts = []
-    for mp in max_pages:
-        cfg = dataclasses.replace(QPIPE_CS, spl_max_pages=mp)
-        rts.append(run_batch(ds.tables, cfg, workload, MEMORY).mean_response)
+    dataset = DatasetSpec("tpch", sf, seed)
+    specs = [
+        CellSpec(
+            key=f"mp{mp}",
+            config=dataclasses.replace(QPIPE_CS, spl_max_pages=mp),
+            dataset=dataset,
+            workload=WorkloadSpec("tpch-q1", n=n_queries, seed=seed),
+            storage=MEMORY,
+        )
+        for mp in max_pages
+    ]
+    out = _sweep(specs, jobs)
+    rts = [out.cell(f"mp{mp}").mean_response for mp in max_pages]
     table = format_series(
         f"SPL maximum size ablation ({n_queries} identical Q1, CS(SPL))",
         "max_pages", list(max_pages), {"response_s": rts},
         note="paper: SPL size does not heavily affect performance (256KB chosen)",
     )
     return ExperimentResult(
-        "spl_maxsize", [table], {"max_pages": list(max_pages), "rt": rts}
+        "spl_maxsize", [table], {"max_pages": list(max_pages), "rt": rts},
+        timings=out.timings(),
     )

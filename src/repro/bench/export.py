@@ -73,10 +73,27 @@ def metrics_to_json(
     return json.dumps(_plain(payload), indent=indent, sort_keys=True)
 
 
-def experiment_to_json(result: ExperimentResult, indent: int = 2) -> str:
-    """Serialize an experiment's structured data as JSON."""
+def experiment_to_json(
+    result: ExperimentResult, indent: int = 2, include_timings: bool = False
+) -> str:
+    """Serialize an experiment's structured data as JSON.
+
+    The default payload holds only *simulated* measurements, so it is
+    byte-identical for any ``jobs`` count -- the artifact CI diffs between
+    serial and parallel sweeps.  ``include_timings=True`` adds the host-side
+    attribution (per-cell wall clock, worker pid, retries) from the
+    parallel fabric."""
+    payload: dict[str, Any] = {"experiment": result.experiment, "data": _plain(result.data)}
+    if include_timings and result.timings:
+        payload["timings"] = _plain(result.timings)
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def timings_to_json(result: ExperimentResult, indent: int = 2) -> str:
+    """Serialize just the host-side attribution of one sweep: effective
+    ``jobs``, total wall clock, and per-cell ``{wall_s, worker, retried}``."""
     return json.dumps(
-        {"experiment": result.experiment, "data": _plain(result.data)},
+        {"experiment": result.experiment, **_plain(result.timings)},
         indent=indent,
         sort_keys=True,
     )

@@ -19,6 +19,14 @@ Commands
         python -m repro experiment fig6
         python -m repro experiment fig10 --full
 
+``sweep``
+    Regenerate many figures/tables at once on the parallel fabric, with
+    ordered per-cell progress and a wall-clock summary::
+
+        python -m repro sweep --jobs 4                 # every experiment
+        python -m repro sweep fig10 fig13 --jobs 4 --full
+        python -m repro sweep fig13 --jobs 2 --json-dir out/
+
 ``serve``
     Run the admission-controlled query service against an open-loop
     arrival stream and print service-level metrics::
@@ -185,17 +193,25 @@ def cmd_query(args) -> int:
     return 0
 
 
+def _experiment_kwargs(fn, full: bool, jobs: int | None) -> dict:
+    """Pass ``full``/``jobs`` only to experiments that take them (fig2 and
+    other derived tables have no sweep to parallelize)."""
+    import inspect
+
+    params = inspect.signature(fn).parameters
+    kwargs = {}
+    if full and "full" in params:
+        kwargs["full"] = True
+    if jobs is not None and "jobs" in params:
+        kwargs["jobs"] = jobs
+    return kwargs
+
+
 def cmd_experiment(args) -> int:
     """Regenerate a paper figure/table (optionally charted / as JSON)."""
     experiments = _experiments()
     fn = experiments[args.name]
-    kwargs = {}
-    if args.full:
-        import inspect
-
-        if "full" in inspect.signature(fn).parameters:
-            kwargs["full"] = True
-    result = fn(**kwargs)
+    result = fn(**_experiment_kwargs(fn, args.full, args.jobs))
     print(result.render())
     if args.chart:
         from repro.bench.charts import chart_for
@@ -212,6 +228,94 @@ def cmd_experiment(args) -> int:
         print()
         print(experiment_to_json(result))
     return 0
+
+
+def cmd_sweep(args) -> int:
+    """Regenerate many figures/tables at once on the parallel fabric.
+
+    Runs each named experiment (default: all of them) with ``--jobs``
+    worker processes, prints ordered per-cell progress (unless
+    ``--quiet``), optionally writes per-experiment JSON artifacts, and
+    ends with a wall-clock summary table."""
+    import os
+    import time
+
+    from repro.bench.reporting import format_sweep_summary
+    from repro.parallel import JOBS_ENV, SweepError, resolve_jobs
+
+    experiments = _experiments()
+    names = args.names or list(experiments)
+    unknown = [n for n in names if n not in experiments]
+    if unknown:
+        raise SystemExit(
+            f"repro sweep: unknown experiment(s) {', '.join(unknown)} "
+            f"(see: repro list)"
+        )
+    if args.jobs is not None:
+        # Library sweeps read REPRO_JOBS when no explicit jobs arg is
+        # given; exporting here covers experiments without a jobs kwarg
+        # calling into nested sweeps, and keeps child tooling consistent.
+        os.environ[JOBS_ENV] = str(args.jobs)
+    if not args.quiet:
+        os.environ["REPRO_PROGRESS"] = "1"
+    if args.timeout is not None:
+        os.environ["REPRO_CELL_TIMEOUT"] = str(args.timeout)
+    jobs = resolve_jobs(args.jobs)
+
+    if args.json_dir:
+        os.makedirs(args.json_dir, exist_ok=True)
+
+    rows = []
+    failed = False
+    for name in names:
+        fn = experiments[name]
+        kwargs = _experiment_kwargs(fn, args.full, jobs)
+        print(f"=== {name} (jobs={jobs}) ===")
+        start = time.perf_counter()
+        try:
+            result = fn(**kwargs)
+        except SweepError as exc:
+            failed = True
+            print(f"repro sweep: {name} failed: {exc}")
+            rows.append(
+                {
+                    "experiment": name,
+                    "cells": "failed",
+                    "jobs": jobs,
+                    "wall_s": round(time.perf_counter() - start, 2),
+                }
+            )
+            if args.fail_fast:
+                break
+            continue
+        wall = time.perf_counter() - start
+        if not args.quiet:
+            print(result.render())
+            print()
+        timings = result.timings or {}
+        cells = timings.get("cells", {})
+        retried = sum(1 for c in cells.values() if c.get("retried"))
+        rows.append(
+            {
+                "experiment": name,
+                "cells": len(cells) if cells else "-",
+                "jobs": timings.get("jobs", "-"),
+                "retried": retried,
+                "wall_s": round(wall, 2),
+            }
+        )
+        if args.json_dir:
+            from repro.bench.export import experiment_to_json, timings_to_json
+
+            path = os.path.join(args.json_dir, f"{name}.json")
+            with open(path, "w") as fh:
+                fh.write(experiment_to_json(result) + "\n")
+            if timings:
+                with open(os.path.join(args.json_dir, f"{name}.cells.json"), "w") as fh:
+                    fh.write(timings_to_json(result) + "\n")
+
+    print(format_sweep_summary(rows))
+    return 1 if failed else 0
 
 
 def cmd_serve(args) -> int:
@@ -333,9 +437,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
     p_exp.add_argument("name", choices=sorted(_experiments()))
     p_exp.add_argument("--full", action="store_true", help="paper-scale parameters")
+    p_exp.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for the sweep (default: REPRO_JOBS or 1)")
     p_exp.add_argument("--chart", action="store_true", help="also draw an ASCII chart")
     p_exp.add_argument("--json", action="store_true", help="also dump machine-readable JSON")
     p_exp.set_defaults(fn=cmd_experiment)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="regenerate many figures/tables on the parallel fabric",
+        description="Run each named experiment (default: all) with --jobs "
+        "worker processes; results are byte-identical for any jobs count.",
+    )
+    p_sweep.add_argument("names", nargs="*", metavar="experiment",
+                         help="experiments to run (default: all; see: repro list)")
+    p_sweep.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: REPRO_JOBS or 1)")
+    p_sweep.add_argument("--full", action="store_true", help="paper-scale parameters")
+    p_sweep.add_argument("--timeout", type=float, default=None,
+                         help="per-cell wall-clock budget (s)")
+    p_sweep.add_argument("--json-dir", default=None,
+                         help="write <name>.json (+ <name>.cells.json timing "
+                         "attribution) artifacts into this directory")
+    p_sweep.add_argument("--quiet", action="store_true",
+                         help="suppress per-cell progress and rendered tables")
+    p_sweep.add_argument("--fail-fast", action="store_true",
+                         help="stop at the first failed experiment")
+    p_sweep.set_defaults(fn=cmd_sweep)
 
     p_serve = sub.add_parser(
         "serve", help="serve an open-loop query stream through the service layer"

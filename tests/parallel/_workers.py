@@ -1,0 +1,53 @@
+"""Top-level picklable work items and functions for fabric tests.
+
+``ProcessPoolExecutor`` pickles functions by reference, so everything a
+worker runs must live at module level -- test closures won't do.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Item:
+    """A minimal keyed work item.  ``parent_pid`` lets a function behave
+    differently in the parent (serial retry) than in a pool worker."""
+
+    key: str
+    value: int = 0
+    parent_pid: int = 0
+    sleep_s: float = 0.0
+
+
+def echo(item: Item) -> int:
+    """Pure function of the item: same answer in any process."""
+    return item.value * 2
+
+
+def raise_in_worker(item: Item) -> int:
+    """Crashes only in a pool worker; succeeds when re-run in the parent."""
+    if os.getpid() != item.parent_pid:
+        raise RuntimeError(f"worker-only failure for {item.key}")
+    return item.value * 2
+
+
+def exit_in_worker(item: Item) -> int:
+    """Kills the worker process outright (BrokenProcessPool in the parent);
+    succeeds when re-run in the parent."""
+    if os.getpid() != item.parent_pid:
+        os._exit(13)
+    return item.value * 2
+
+
+def always_raise(item: Item) -> int:
+    """Fails everywhere: pool run and serial retry alike."""
+    raise ValueError(f"persistent failure for {item.key}")
+
+
+def sleep_then_echo(item: Item) -> int:
+    """Holds its worker for ``sleep_s`` -- the timeout test's stuck cell."""
+    time.sleep(item.sleep_s)
+    return item.value * 2

@@ -29,9 +29,11 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
+import dataclasses
+
 from repro.bench.experiments import fig10_concurrency, fig13_scale_factor
 from repro.bench.runner import POSTGRES, run_batch
-from repro.bench.workload import q32_random_workload
+from repro.bench.workload import gqp_skewed_workload, q32_random_workload
 from repro.data import generate_ssb
 from repro.engine.config import CJOIN, CJOIN_SP, QPIPE_SP, fast_path
 from repro.storage.manager import StorageConfig
@@ -109,6 +111,43 @@ def bench_engines(n: int, sf: float, seed: int, reps: int = 1) -> dict:
     return out
 
 
+def bench_cjoin_chain(n: int, sf: float, seed: int, reps: int = 1) -> dict:
+    """The CJOIN filter-chain row: per-row probe loop vs columnar kernels.
+
+    Both runs keep the default fast path; the only difference is
+    ``gqp_filter_kernels``.  Every query in the workload references every
+    dimension, so no filter is ever skipped and the simulated results must
+    be identical -- this row isolates the host-side cost of the chain's
+    probe loop itself."""
+    ds = generate_ssb(sf, seed)
+    workload = gqp_skewed_workload(n, seed)
+    storage = StorageConfig(resident="memory")
+    rowwise = dataclasses.replace(CJOIN_SP, gqp_filter_kernels=False)
+    columnar = dataclasses.replace(CJOIN_SP, gqp_filter_kernels=True)
+    before_s, before, before_reps = _timed(
+        lambda: run_batch(ds.tables, rowwise, workload, storage), reps
+    )
+    after_s, after, after_reps = _timed(
+        lambda: run_batch(ds.tables, columnar, workload, storage), reps
+    )
+    if _engine_fingerprint(before) != _engine_fingerprint(after):
+        raise SystemExit(
+            "SIMULATED RESULTS DIVERGED for the CJOIN filter chain: the "
+            "columnar kernels changed ticks or charges with no skipped "
+            "filter -- this is a bug, not a perf issue"
+        )
+    return {
+        "CJOIN filter chain (columnar kernels)": {
+            "n_queries": n,
+            "before_s": round(before_s, 3),
+            "after_s": round(after_s, 3),
+            "speedup": round(before_s / after_s, 2) if after_s else None,
+            "before": _spread(before_reps),
+            "after": _spread(after_reps),
+        }
+    }
+
+
 def bench_experiment(name: str, fn, reps: int = 1) -> dict:
     """One full paper experiment (its default settings), both modes.
 
@@ -161,6 +200,7 @@ def main(argv: list[str] | None = None) -> int:
     report["host"]["reps"] = reps
     if args.fast:
         report["engines"] = bench_engines(n=16, sf=0.5, seed=42, reps=reps)
+        report["engines"].update(bench_cjoin_chain(n=16, sf=0.5, seed=42, reps=reps))
         report["experiments"]["fig10_concurrency"] = bench_experiment(
             "fig10", lambda: fig10_concurrency(
                 concurrency=(1, 8), sf=0.5, resident=("memory",), jobs=jobs),
@@ -173,6 +213,7 @@ def main(argv: list[str] | None = None) -> int:
         )
     else:
         report["engines"] = bench_engines(n=64, sf=1.0, seed=42, reps=reps)
+        report["engines"].update(bench_cjoin_chain(n=64, sf=1.0, seed=42, reps=reps))
         report["experiments"]["fig10_concurrency"] = bench_experiment(
             "fig10", lambda: fig10_concurrency(jobs=jobs), reps
         )

@@ -30,6 +30,10 @@ from repro.sim.fastpath import (  # noqa: F401  (re-exports)
     batch_kernels_default,
     fast_path,
     fuse_charges_default,
+    gqp_adaptive_ordering_default,
+    gqp_filter_kernels_default,
+    gqp_plane,
+    set_gqp_plane,
 )
 
 
@@ -92,12 +96,40 @@ class EngineConfig:
     #: Neither changes a single simulated tick.
     batch_kernels: bool | None = None
     fuse_charges: bool | None = None
+    #: the adaptive GQP data plane (None = follow the process-wide default;
+    #: see ``gqp_plane`` / ``set_gqp_plane``).  Unlike the fast-path flags,
+    #: these *change simulated results* when enabled: ``gqp_adaptive_ordering``
+    #: re-sorts the CJOIN filter chain most-selective-first at logical-tick
+    #: boundaries, and ``gqp_filter_kernels`` probes filters columnar-style
+    #: and skips filters irrelevant to every surviving query on a page.
+    #: Both default off, keeping default runs bit-identical to the golden
+    #: metrics snapshot.
+    gqp_adaptive_ordering: bool | None = None
+    gqp_filter_kernels: bool | None = None
+    #: adaptive-ordering tuning: re-sort check cadence in preprocessor pages
+    #: (the horizontal config's logical tick; the vertical config re-sorts
+    #: at admission pauses), EWMA smoothing of observed per-filter pass
+    #: rates, and the pass-rate margin an adjacent filter pair must be out
+    #: of order by before the chain re-sorts (hysteresis against thrash).
+    gqp_reorder_interval: int = 16
+    gqp_selectivity_alpha: float = 0.3
+    gqp_order_hysteresis: float = 0.05
 
     def use_batch_kernels(self) -> bool:
         return batch_kernels_default() if self.batch_kernels is None else self.batch_kernels
 
     def use_fuse_charges(self) -> bool:
         return fuse_charges_default() if self.fuse_charges is None else self.fuse_charges
+
+    def use_gqp_adaptive_ordering(self) -> bool:
+        if self.gqp_adaptive_ordering is None:
+            return gqp_adaptive_ordering_default()
+        return self.gqp_adaptive_ordering
+
+    def use_gqp_filter_kernels(self) -> bool:
+        if self.gqp_filter_kernels is None:
+            return gqp_filter_kernels_default()
+        return self.gqp_filter_kernels
 
     def __post_init__(self) -> None:
         if self.comm not in ("spl", "fifo"):
@@ -114,6 +146,12 @@ class EngineConfig:
             raise ValueError("gqp_batched_execution requires use_cjoin")
         if self.cjoin_threads not in ("horizontal", "vertical"):
             raise ValueError("cjoin_threads must be 'horizontal' or 'vertical'")
+        if self.gqp_reorder_interval < 1:
+            raise ValueError("gqp_reorder_interval must be >= 1")
+        if not 0.0 < self.gqp_selectivity_alpha <= 1.0:
+            raise ValueError("gqp_selectivity_alpha must be in (0, 1]")
+        if not 0.0 <= self.gqp_order_hysteresis < 1.0:
+            raise ValueError("gqp_order_hysteresis must be in [0, 1)")
         allowed = {"tablescan", "join", "aggregate", "sort", "cjoin"}
         unknown = set(self.result_cache_stages) - allowed
         if unknown:

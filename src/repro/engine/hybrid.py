@@ -52,14 +52,20 @@ class HybridEngine:
         storage: "StorageManager",
         cost: CostModel = DEFAULT_COST_MODEL,
         threshold: int | None = None,
+        qc_config=QPIPE_SP,
+        gqp_config=CJOIN_SP,
     ):
         self.sim = sim
         self.storage = storage
         #: in-flight queries at/above which new arrivals go to the GQP;
         #: default: the machine saturates (one plan busies ~2 cores).
         self.threshold = threshold if threshold is not None else saturation_threshold(sim.machine)
-        self.query_centric = QPipeEngine(sim, storage, QPIPE_SP, cost)
-        self.gqp = QPipeEngine(sim, storage, CJOIN_SP, cost)
+        #: the two routed configurations; overridable so sweeps can vary
+        #: e.g. the CJOIN thread layout or adaptive-ordering tuning.  The
+        #: presets leave the adaptive-GQP knobs at ``None``, so the
+        #: process-wide ``set_gqp_plane`` defaults flow through here too.
+        self.query_centric = QPipeEngine(sim, storage, qc_config, cost)
+        self.gqp = QPipeEngine(sim, storage, gqp_config, cost)
         self._in_flight = 0
         #: "cache-discount" (counted on top of "query-centric") appears
         #: only once a result-cache hit actually bends a routing decision

@@ -8,12 +8,18 @@ the pipeline is paused, so in-flight tuples never see a recycled bit)."""
 
 from __future__ import annotations
 
+import heapq
+
 
 class SlotAllocator:
-    """Allocates query bitmap slots with deferred reuse."""
+    """Allocates query bitmap slots with deferred reuse.
+
+    ``_free`` is a min-heap, so ``alloc`` is O(log n) instead of the
+    sort-per-call it used to be; lowest-slot-first reuse keeps bitmaps
+    narrow (``high_water`` bounds every bitmap-AND's word count)."""
 
     def __init__(self) -> None:
-        self._free: list[int] = []
+        self._free: list[int] = []  # min-heap of reusable slots
         self._retired: list[int] = []
         self._next = 0
         self._live = 0
@@ -23,8 +29,7 @@ class SlotAllocator:
         """Allocate the lowest safely reusable slot."""
         self._live += 1
         if self._free:
-            self._free.sort()
-            return self._free.pop(0)
+            return heapq.heappop(self._free)
         slot = self._next
         self._next += 1
         return slot
@@ -40,7 +45,8 @@ class SlotAllocator:
         """Move retired slots to the free list (call with the pipeline
         paused, after clearing their bits); returns the reclaimed slots."""
         reclaimed, self._retired = self._retired, []
-        self._free.extend(reclaimed)
+        for slot in reclaimed:
+            heapq.heappush(self._free, slot)
         return reclaimed
 
     # ------------------------------------------------------------------

@@ -1,0 +1,88 @@
+"""Selectivity-ordered CJOIN filter chains (the adaptive GQP data plane).
+
+The original CJOIN observation: the shared filter chain is a conjunction,
+so evaluating the *most selective* filter first kills doomed fact tuples
+before they pay the remaining filters' probe, bitmap-AND and hand-off
+costs.  Plan-insertion order -- what :class:`~repro.gqp.cjoin.CJoinPipeline`
+uses by default -- is whatever order queries happened to list their
+dimensions in, which can be arbitrarily bad.
+
+:class:`ChainOrderer` makes the chain adaptive while keeping runs exactly
+reproducible:
+
+* every filter application reports ``(rows in, rows out)`` --
+  :meth:`observe` folds that into a per-filter EWMA pass rate (stored on
+  the :class:`~repro.gqp.cjoin.Filter` itself, so stats retire with the
+  filter);
+* re-sort decisions happen only at **deterministic logical ticks** --
+  every ``interval`` preprocessor pages for the horizontal thread
+  configuration, at admission pauses for the vertical one -- never on
+  wall clock, so the same seed gives the same chain order on any host,
+  worker count, or Python version;
+* **hysteresis**: the chain re-sorts only when some adjacent pair is out
+  of order by more than ``hysteresis`` in EWMA pass rate; near-equal
+  selectivities never thrash the order (and in-flight pages always carry
+  the chain snapshot they started with, so a re-sort is invisible to
+  them).
+
+The sort is stable with current position as the tie-break, so equal pass
+rates preserve their relative order -- another determinism guard.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gqp.cjoin import Filter
+
+
+class ChainOrderer:
+    """Tracks per-filter selectivity and proposes most-selective-first
+    chain orders at logical-tick boundaries."""
+
+    __slots__ = ("alpha", "interval", "hysteresis", "pages", "reorders")
+
+    def __init__(self, alpha: float = 0.3, interval: int = 16, hysteresis: float = 0.05):
+        self.alpha = alpha
+        self.interval = interval
+        self.hysteresis = hysteresis
+        self.pages = 0  # preprocessor pages seen (the horizontal logical tick)
+        self.reorders = 0  # chain re-sorts actually applied
+
+    # ------------------------------------------------------------------
+    def observe(self, flt: "Filter", n_in: int, n_out: int) -> None:
+        """Fold one filter application's pass rate into the filter's EWMA.
+
+        ``n_in``/``n_out`` are generated-row counts for one page's
+        surviving tuples entering/leaving the filter."""
+        if n_in <= 0:
+            return
+        rate = n_out / n_in
+        prev = flt.ewma_pass
+        flt.ewma_pass = rate if prev is None else prev + self.alpha * (rate - prev)
+        flt.probe_rows += n_in
+        flt.pass_rows += n_out
+
+    def tick_page(self) -> bool:
+        """Count one preprocessor page; True at re-sort-check boundaries."""
+        self.pages += 1
+        return self.pages % self.interval == 0
+
+    # ------------------------------------------------------------------
+    def propose(self, filters: list["Filter"]) -> list[str] | None:
+        """A most-selective-first order for ``filters``, or ``None`` when
+        the current order is already within the hysteresis margin.
+
+        Filters with no observations yet (``ewma_pass is None``) are
+        treated as pass-everything: they sort last until measured, which
+        is both the conservative choice (an unmeasured filter cannot be
+        trusted to kill tuples) and a deterministic one."""
+        if len(filters) < 2:
+            return None
+        rates = [1.0 if f.ewma_pass is None else f.ewma_pass for f in filters]
+        if all(rates[i] <= rates[i + 1] + self.hysteresis for i in range(len(rates) - 1)):
+            return None
+        order = sorted(range(len(filters)), key=lambda i: (rates[i], i))
+        self.reorders += 1
+        return [filters[i].dim_name for i in order]

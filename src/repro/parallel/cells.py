@@ -43,6 +43,8 @@ from repro.bench.runner import (
 )
 from repro.bench.workload import (
     QueryJob,
+    gqp_skewed_workload,
+    gqp_uniform_workload,
     mix_spec_factory,
     q32_limited_plans_workload,
     q32_random_workload,
@@ -55,6 +57,9 @@ from repro.engine.config import (
     batch_kernels_default,
     fast_path,
     fuse_charges_default,
+    gqp_adaptive_ordering_default,
+    gqp_filter_kernels_default,
+    gqp_plane,
 )
 from repro.sim.machine import PAPER_MACHINE, MachineSpec
 from repro.storage.manager import StorageConfig
@@ -65,6 +70,7 @@ __all__ = [
     "DatasetSpec",
     "WorkloadSpec",
     "current_fast_flags",
+    "current_gqp_flags",
     "execute_cell",
 ]
 
@@ -73,6 +79,15 @@ def current_fast_flags() -> tuple[bool, bool]:
     """The parent's (batch_kernels, fuse_charges) defaults, captured into
     each spec so workers replay the parent's host-execution mode."""
     return (batch_kernels_default(), fuse_charges_default())
+
+
+def current_gqp_flags() -> tuple[bool, bool]:
+    """The parent's (adaptive_ordering, filter_kernels) adaptive-GQP
+    defaults.  Captured into each spec like ``fast_flags`` -- but these
+    *change simulated results*, so shipping them with the cell is what
+    keeps a ``--gqp-ordering adaptive`` sweep byte-identical across any
+    worker count."""
+    return (gqp_adaptive_ordering_default(), gqp_filter_kernels_default())
 
 
 @dataclass(frozen=True)
@@ -107,6 +122,8 @@ WORKLOAD_KINDS = (
     "ssb-mix",
     "tpch-q1",
     "mix-factory",
+    "gqp-skew",
+    "gqp-uniform",
 )
 
 
@@ -142,6 +159,10 @@ class WorkloadSpec:
             return ssb_mix_workload(self.n, self.seed)
         if self.kind == "tpch-q1":
             return tpch_q1_workload(self.n, dataset)
+        if self.kind == "gqp-skew":
+            return gqp_skewed_workload(self.n, self.seed)
+        if self.kind == "gqp-uniform":
+            return gqp_uniform_workload(self.n, self.seed)
         raise ValueError(f"workload kind {self.kind!r} has no batch form")
 
 
@@ -169,6 +190,9 @@ class CellSpec:
     #: (batch_kernels, fuse_charges) captured in the parent at enumeration
     #: time; workers re-apply them around the run.
     fast_flags: tuple[bool, bool] = field(default_factory=current_fast_flags)
+    #: (adaptive_ordering, filter_kernels) likewise -- engine configs with
+    #: the GQP knobs at ``None`` resolve against these inside the worker.
+    gqp_flags: tuple[bool, bool] = field(default_factory=current_gqp_flags)
 
     def __post_init__(self) -> None:
         if self.mode not in ("batch", "closed"):
@@ -207,7 +231,9 @@ def execute_cell(spec: CellSpec) -> CellResult:
     dataset = spec.dataset.generate()
     flags = spec.fast_flags
     ctx = fast_path(*flags) if flags != current_fast_flags() else nullcontext()
-    with ctx:
+    gflags = spec.gqp_flags
+    gctx = gqp_plane(*gflags) if gflags != current_gqp_flags() else nullcontext()
+    with ctx, gctx:
         if spec.mode == "batch":
             result: RunResult | ThroughputResult = run_batch(
                 dataset.tables,

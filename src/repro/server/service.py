@@ -121,6 +121,8 @@ class QueryService:
         machine: MachineSpec = PAPER_MACHINE,
         cost: CostModel = DEFAULT_COST_MODEL,
         storage_config: StorageConfig = StorageConfig(),
+        qc_config=QPIPE_SP,
+        gqp_config=CJOIN_SP,
     ):
         self.sim = Simulator(machine)
         self.metrics = ServiceMetrics()
@@ -128,9 +130,12 @@ class QueryService:
         self.config = config
         self.storage = StorageManager(self.sim, cost, tables, storage_config)
         #: both engines share the one storage manager (shared circular
-        #: scans, buffer pool and page cache), as in HybridEngine
-        self.query_centric = QPipeEngine(self.sim, self.storage, QPIPE_SP, cost)
-        self.gqp = QPipeEngine(self.sim, self.storage, CJOIN_SP, cost)
+        #: scans, buffer pool and page cache), as in HybridEngine.  The
+        #: preset configs leave the adaptive-GQP knobs at None, so the
+        #: process-wide set_gqp_plane defaults apply unless a caller passes
+        #: an explicit gqp_config.
+        self.query_centric = QPipeEngine(self.sim, self.storage, qc_config, cost)
+        self.gqp = QPipeEngine(self.sim, self.storage, gqp_config, cost)
         self.policy = make_policy(policy, machine) if isinstance(policy, str) else policy
         self.queue = AdmissionQueue(self.sim, config.queue_capacity, self.metrics)
         self._in_flight = 0
@@ -339,6 +344,8 @@ def serve(
     threshold: int | None = None,
     trace_path: str | None = None,
     cost: CostModel = DEFAULT_COST_MODEL,
+    qc_config=QPIPE_SP,
+    gqp_config=CJOIN_SP,
 ) -> ServiceReport:
     """Serve a synthetic workload end-to-end and report service metrics.
 
@@ -356,6 +363,8 @@ def serve(
         machine=machine,
         cost=cost,
         storage_config=storage_config,
+        qc_config=qc_config,
+        gqp_config=gqp_config,
     )
     service.run(jobs, arrivals, duration)
     sim = service.sim

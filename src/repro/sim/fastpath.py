@@ -1,6 +1,7 @@
-"""Process-wide fast-path switches (wall-clock only, never simulated time).
+"""Process-wide execution-plane switchboards.
 
-Two independent optimizations share this switchboard:
+Two independent *wall-clock-only* optimizations share the fast-path
+switchboard:
 
 * ``batch_kernels`` -- engine hot loops call ``Expr.compile_batch``
   vectorized kernels instead of per-row closures;
@@ -13,6 +14,23 @@ Both default on; ``fast_path(False, False)`` restores the row-at-a-time
 "before" behavior for benchmarking and for the golden determinism tests,
 which hold the two modes to *bit-identical* simulated results.
 
+A second switchboard carries the process-wide defaults of the **adaptive
+GQP data plane** (:mod:`repro.gqp.ordering`):
+
+* ``gqp_adaptive_ordering`` -- the CJOIN filter chain re-sorts itself
+  most-selective-first at logical-tick boundaries;
+* ``gqp_filter_kernels`` -- columnar filter probing with chain-fused
+  charges and pass-mask short-circuiting.
+
+Unlike the fast path, these two **change simulated results when enabled**
+(fewer doomed tuples reach later filters; irrelevant filters are skipped).
+They default *off*, so default runs stay bit-identical to the committed
+golden metrics; ``EngineConfig`` fields set to ``None`` fall back to these
+defaults, which makes one env var / context manager flip whole sweeps.
+The environment variables ``REPRO_GQP_ORDERING=adaptive`` and
+``REPRO_GQP_KERNELS=1`` seed the defaults at import time so freshly
+spawned benchmark/worker processes inherit the parent's choice.
+
 This lives in :mod:`repro.sim` (the lowest layer) because the simulator
 itself consults ``fuse_charges``; engine code imports the same switches
 through :mod:`repro.engine.config`, which re-exports them."""
@@ -20,8 +38,14 @@ through :mod:`repro.engine.config`, which re-exports them."""
 from __future__ import annotations
 
 import contextlib
+import os
 
 _FAST_PATH = {"batch_kernels": True, "fuse_charges": True}
+
+_GQP_PLANE = {
+    "adaptive_ordering": os.environ.get("REPRO_GQP_ORDERING", "") == "adaptive",
+    "filter_kernels": os.environ.get("REPRO_GQP_KERNELS", "") not in ("", "0", "false"),
+}
 
 
 def batch_kernels_default() -> bool:
@@ -44,3 +68,38 @@ def fast_path(batch_kernels: bool = True, fuse_charges: bool = True):
         yield
     finally:
         _FAST_PATH.update(saved)
+
+
+def gqp_adaptive_ordering_default() -> bool:
+    """Process-wide default for selectivity-ordered CJOIN filter chains."""
+    return _GQP_PLANE["adaptive_ordering"]
+
+
+def gqp_filter_kernels_default() -> bool:
+    """Process-wide default for columnar CJOIN filter kernels."""
+    return _GQP_PLANE["filter_kernels"]
+
+
+def set_gqp_plane(
+    adaptive_ordering: bool | None = None, filter_kernels: bool | None = None
+) -> None:
+    """Set the process-wide adaptive-GQP defaults (``None`` leaves a knob
+    untouched).  The CLI uses this to apply ``--gqp-ordering`` /
+    ``--gqp-kernels`` to every engine a command builds, including the
+    hard-coded CJOIN-SP configs inside the hybrid/service routers."""
+    if adaptive_ordering is not None:
+        _GQP_PLANE["adaptive_ordering"] = adaptive_ordering
+    if filter_kernels is not None:
+        _GQP_PLANE["filter_kernels"] = filter_kernels
+
+
+@contextlib.contextmanager
+def gqp_plane(adaptive_ordering: bool = False, filter_kernels: bool = False):
+    """Temporarily override the adaptive-GQP defaults (benchmarks/tests)."""
+    saved = dict(_GQP_PLANE)
+    _GQP_PLANE["adaptive_ordering"] = adaptive_ordering
+    _GQP_PLANE["filter_kernels"] = filter_kernels
+    try:
+        yield
+    finally:
+        _GQP_PLANE.update(saved)

@@ -1,0 +1,332 @@
+"""The adaptive GQP data plane: selectivity-ordered chains + columnar kernels.
+
+Three contracts under test:
+
+* **Correctness** -- adaptive ordering and the columnar kernels never
+  change a query's result rows (vs the reference evaluator), in either
+  thread configuration, across admissions, retirements and reorders.
+* **Charge equivalence** -- with kernels on and no skipped filter, the
+  simulated metrics are *bit-identical* to the default per-row path (the
+  PR 3 fusion contract extended across the whole chain); with everything
+  off, no new counters appear at all (the golden snapshot stays valid).
+* **Determinism** -- re-sorts happen at logical ticks only: the same
+  seed gives the same metrics on every rerun, and hysteresis keeps
+  near-equal chains from thrashing.
+"""
+
+import json
+
+import pytest
+
+from repro.baselines import evaluate_plan
+from repro.data import generate_ssb
+from repro.engine import CJOIN, CJOIN_SP, QPipeEngine
+from repro.gqp.ordering import ChainOrderer
+from repro.query.expr import Between, Cmp, Col
+from repro.query.plan import AggSpec, DimJoinSpec
+from repro.query.ssb_queries import q32
+from repro.query.star import StarQuerySpec
+from repro.sim import Simulator
+from repro.sim.costmodel import DEFAULT_COST_MODEL
+from repro.sim.machine import MachineSpec
+from repro.storage import StorageConfig, StorageManager
+
+import dataclasses
+
+
+@pytest.fixture(scope="module")
+def ssb():
+    return generate_ssb(0.5, seed=13)
+
+
+def norm(rows):
+    return sorted(
+        tuple(round(v, 6) if isinstance(v, float) else v for v in row) for row in rows
+    )
+
+
+def make_engine(ssb, config=CJOIN):
+    sim = Simulator(MachineSpec())
+    storage = StorageManager(
+        sim, DEFAULT_COST_MODEL, ssb.tables, StorageConfig(resident="memory")
+    )
+    return sim, QPipeEngine(sim, storage, config)
+
+
+def skewed_spec(nation="CHINA", region="ASIA"):
+    """Worst-first dimension order: pass-everything date filter first,
+    region filter second, most-selective nation filter last."""
+    return StarQuerySpec(
+        fact_table="lineorder",
+        dims=(
+            DimJoinSpec("date", "lo_orderdate", "d_datekey",
+                        Between("d_year", 1992, 1998), payload=("d_year",)),
+            DimJoinSpec("customer", "lo_custkey", "c_custkey",
+                        Cmp("=", "c_region", region), payload=("c_city",)),
+            DimJoinSpec("supplier", "lo_suppkey", "s_suppkey",
+                        Cmp("=", "s_nation", nation), payload=("s_city",)),
+        ),
+        group_by=("c_city", "s_city", "d_year"),
+        aggregates=(AggSpec("sum", Col("lo_revenue"), "revenue"),),
+        label="skewed",
+    )
+
+
+ADAPTIVE = dataclasses.replace(
+    CJOIN, gqp_adaptive_ordering=True, gqp_filter_kernels=True, gqp_reorder_interval=8
+)
+KERNELS_ONLY = dataclasses.replace(CJOIN, gqp_filter_kernels=True)
+
+
+def run_specs(ssb, config, specs):
+    sim, eng = make_engine(ssb, config)
+    handles = [eng.submit(s) for s in specs]
+    sim.run()
+    return sim, [norm(h.results) for h in handles]
+
+
+class TestCorrectness:
+    def test_adaptive_matches_oracle(self, ssb):
+        specs = [skewed_spec("CHINA", "ASIA"), skewed_spec("FRANCE", "EUROPE")]
+        _, results = run_specs(ssb, ADAPTIVE, specs)
+        for spec, rows in zip(specs, results):
+            oracle = norm(evaluate_plan(spec.to_query_centric_plan(ssb.tables)))
+            assert rows == oracle
+
+    def test_adaptive_reorders_most_selective_first(self, ssb):
+        sim, eng = make_engine(ssb, ADAPTIVE)
+        handles = [eng.submit(skewed_spec()) for _ in range(4)]
+        sim.run()
+        assert all(h.done for h in handles)
+        assert sim.metrics.counts["cjoin_chain_reorders"] >= 1
+        pipeline = eng.cjoin_stage.pipeline_for("lineorder")
+        # The chain drained (filters drop with their last query), but the
+        # orderer saw the skew: the supplier filter passed the fewest rows.
+        assert pipeline.orderer is not None
+        assert pipeline.orderer.reorders >= 1
+        probes = {
+            k.split(".")[1]: v
+            for k, v in sim.metrics.counts.items()
+            if k.startswith("cjoin_filter_probes.")
+        }
+        passes = {
+            k.split(".")[1]: v
+            for k, v in sim.metrics.counts.items()
+            if k.startswith("cjoin_filter_passes.")
+        }
+        rate = {d: passes[d] / probes[d] for d in probes}
+        assert rate["supplier"] < rate["customer"] < rate["date"]
+        # After the re-sort, later filters see fewer rows than the static
+        # chain would feed them: supplier now probes *more* rows than date
+        # (it runs first), instead of the skew's worst-first order.
+        assert probes["supplier"] >= probes["date"]
+
+    def test_vertical_config_adaptive(self, ssb):
+        """The vertical configuration re-sorts only at admission pauses;
+        results stay correct across the reorder."""
+        vertical = dataclasses.replace(ADAPTIVE, cjoin_threads="vertical")
+        specs = [skewed_spec("CHINA", "ASIA"), skewed_spec("JAPAN", "ASIA")]
+        sim, eng = make_engine(ssb, vertical)
+        first = eng.submit(specs[0])
+        # Second query arrives mid-flight: its admission pause is the
+        # vertical logical tick that may re-sort the (observed) chain.
+        def late():
+            from repro.sim.commands import SLEEP
+
+            yield SLEEP(0.3)
+            handles.append(eng.submit(specs[1]))
+
+        handles = [first]
+        sim.spawn(late(), "late-submitter")
+        sim.run()
+        assert all(h.done for h in handles)
+        for spec, h in zip(specs, handles):
+            oracle = norm(evaluate_plan(spec.to_query_centric_plan(ssb.tables)))
+            assert norm(h.results) == oracle
+
+    def test_kernels_skip_filters_irrelevant_to_page(self, ssb):
+        """A page whose live queries all pass a filter (pass_mask covers
+        every live bit) skips it outright: once the only query referencing
+        customer/supplier completes, the later query's pages cross those
+        still-installed filters for free -- with correct results."""
+        a = q32("CHINA", "FRANCE", 1993, 1996)
+        b = StarQuerySpec(
+            fact_table="lineorder",
+            dims=(
+                DimJoinSpec("date", "lo_orderdate", "d_datekey",
+                            Between("d_year", 1994, 1995), payload=("d_year",)),
+            ),
+            group_by=("d_year",),
+            aggregates=(AggSpec("sum", Col("lo_revenue"), "revenue"),),
+            label="date-only",
+        )
+        sim, eng = make_engine(ssb, KERNELS_ONLY)
+        ha = eng.submit(a)
+        handles: list = []
+
+        def late():
+            from repro.sim.commands import SLEEP
+
+            # Admit b in a later batch: its circular scan extends past a's
+            # completion, so its tail pages carry only b's bit -- which the
+            # customer/supplier pass_masks cover entirely.
+            yield SLEEP(0.3)
+            handles.append(eng.submit(b))
+
+        sim.spawn(late(), "late-submitter")
+        sim.run()
+        assert norm(ha.results) == norm(evaluate_plan(a.to_query_centric_plan(ssb.tables)))
+        # Revenue sums reach ~2e9: accumulation *order* (pages vs oracle)
+        # legitimately moves the last bits, so compare with rel tolerance.
+        got = sorted(handles[0].results)
+        want = sorted(evaluate_plan(b.to_query_centric_plan(ssb.tables)))
+        assert len(got) == len(want)
+        for g, w in zip(got, want):
+            assert g == pytest.approx(w, rel=1e-9)
+        assert sim.metrics.counts["cjoin_filters_skipped"] > 0
+
+
+class TestChargeEquivalence:
+    def test_kernels_only_metrics_bit_identical_without_skips(self, ssb):
+        """Every query references every filter -> no skip can fire, and the
+        chain-fused charges must be tick-identical to the per-filter path."""
+        specs = [skewed_spec("CHINA", "ASIA"), skewed_spec("FRANCE", "EUROPE")]
+        base_sim, base_res = run_specs(ssb, CJOIN, specs)
+        kern_sim, kern_res = run_specs(ssb, KERNELS_ONLY, specs)
+        assert kern_res == base_res
+        assert json.dumps(kern_sim.metrics.to_dict(), sort_keys=True) == json.dumps(
+            base_sim.metrics.to_dict(), sort_keys=True
+        )
+        assert kern_sim.now == base_sim.now
+
+    def test_default_mode_has_no_adaptive_counters(self, ssb):
+        sim, _ = run_specs_sim(ssb, CJOIN)
+        for label in sim.metrics.counts:
+            assert not label.startswith(("cjoin_filter_probes", "cjoin_filter_passes",
+                                         "cjoin_filter_pass_permille",
+                                         "cjoin_chain_reorders", "cjoin_filters_skipped"))
+
+
+def run_specs_sim(ssb, config):
+    sim, eng = make_engine(ssb, config)
+    h = eng.submit(skewed_spec())
+    sim.run()
+    return sim, h
+
+
+class TestDeterminism:
+    def test_adaptive_rerun_identical(self, ssb):
+        specs = [skewed_spec("CHINA", "ASIA"), skewed_spec("FRANCE", "EUROPE")]
+        sims = [run_specs(ssb, ADAPTIVE, specs)[0] for _ in range(2)]
+        a, b = (json.dumps(s.metrics.to_dict(), sort_keys=True) for s in sims)
+        assert a == b
+        assert sims[0].now == sims[1].now
+
+
+class TestSlotInteraction:
+    def test_retirement_with_reordered_chain_clears_stale_bits(self, ssb):
+        """Two queries complete (their slots retire), the chain has
+        re-sorted in between, and a later admission reclaims the slots: no
+        filter -- wherever it now sits in the chain -- may keep a retired
+        bit, and the query on the recycled slot must be correct.
+
+        Stale-bit clearing is *deferred* until the next admission pause, so
+        the snapshot must be taken inside the simulation right after that
+        admission, not at end of run."""
+        sim, eng = make_engine(ssb, ADAPTIVE)
+        h1 = eng.submit(skewed_spec("CHINA", "ASIA"))
+        h2 = eng.submit(skewed_spec("FRANCE", "EUROPE"))
+        later: list = []
+        snapshots: list = []
+
+        def late():
+            from repro.sim.commands import SLEEP
+
+            while not (h1.done and h2.done):
+                yield SLEEP(0.2)
+            # Both slots retired.  The next admission reclaims them while
+            # (possibly) re-sorting the chain.
+            later.append(eng.submit(skewed_spec("JAPAN", "ASIA")))
+            pipeline = eng.cjoin_stage.pipeline_for("lineorder")
+            while not pipeline.active:
+                yield SLEEP(0.05)
+            live_mask = sum(1 << s for s in pipeline.active)
+            stale = 0
+            for flt in pipeline.filters.values():
+                for entry in flt.ht.values():
+                    stale |= entry.bitmap & ~live_mask
+                stale |= flt.pass_mask & ~live_mask
+            snapshots.append((stale, pipeline.slots.retired_mask()))
+
+        sim.spawn(late(), "late-submitter")
+        sim.run()
+        assert h1.done and h2.done and later and later[0].done
+        assert sim.metrics.counts["cjoin_chain_reorders"] >= 1
+        assert snapshots, "snapshot generator never observed the admission"
+        stale, retired = snapshots[0]
+        assert stale == 0, f"stale bits {stale:#b} survived the reclaiming admission"
+        assert retired == 0, "retired slots not reclaimed at the admission"
+        oracle = norm(
+            evaluate_plan(skewed_spec("JAPAN", "ASIA").to_query_centric_plan(ssb.tables))
+        )
+        assert norm(later[0].results) == oracle
+
+
+class TestChainOrderer:
+    def test_unobserved_filters_sort_last(self):
+        class F:
+            def __init__(self, name, ewma):
+                self.dim_name = name
+                self.ewma_pass = ewma
+                self.probe_rows = self.pass_rows = 0
+
+        orderer = ChainOrderer(hysteresis=0.05)
+        out = orderer.propose([F("a", None), F("b", 0.1)])
+        assert out == ["b", "a"]
+
+    def test_hysteresis_suppresses_near_equal_swaps(self):
+        class F:
+            def __init__(self, name, ewma):
+                self.dim_name = name
+                self.ewma_pass = ewma
+
+        orderer = ChainOrderer(hysteresis=0.05)
+        # Out of order, but within the margin: no thrash.
+        assert orderer.propose([F("a", 0.52), F("b", 0.50)]) is None
+        assert orderer.reorders == 0
+        # Beyond the margin: re-sort, most selective first.
+        assert orderer.propose([F("a", 0.60), F("b", 0.50)]) == ["b", "a"]
+        assert orderer.reorders == 1
+
+    def test_stable_tiebreak_on_equal_rates(self):
+        class F:
+            def __init__(self, name, ewma):
+                self.dim_name = name
+                self.ewma_pass = ewma
+
+        orderer = ChainOrderer(hysteresis=0.0)
+        # b must move ahead of a, but the two 0.5s keep their relative order.
+        out = orderer.propose([F("a", 0.5), F("c", 0.5), F("b", 0.1)])
+        assert out == ["b", "a", "c"]
+
+    def test_ewma_folding(self):
+        class F:
+            dim_name = "x"
+            ewma_pass = None
+            probe_rows = 0
+            pass_rows = 0
+
+        f = F()
+        orderer = ChainOrderer(alpha=0.5)
+        orderer.observe(f, 100, 50)
+        assert f.ewma_pass == pytest.approx(0.5)
+        orderer.observe(f, 100, 100)
+        assert f.ewma_pass == pytest.approx(0.75)
+        assert f.probe_rows == 200 and f.pass_rows == 150
+        orderer.observe(f, 0, 0)  # empty pages fold nothing
+        assert f.ewma_pass == pytest.approx(0.75)
+
+    def test_tick_interval(self):
+        orderer = ChainOrderer(interval=4)
+        ticks = [orderer.tick_page() for _ in range(8)]
+        assert ticks == [False, False, False, True, False, False, False, True]

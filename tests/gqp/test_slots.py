@@ -1,0 +1,100 @@
+"""Unit and property tests for the query-slot allocator.
+
+``SlotAllocator._free`` is a min-heap: ``alloc`` must always hand out the
+*lowest* safely reusable slot (retired slots are unusable until
+``reclaim``), in O(log n) instead of the sort-per-alloc it once was.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gqp.bitmap import SlotAllocator
+
+
+class TestBasics:
+    def test_fresh_slots_are_sequential(self):
+        alloc = SlotAllocator()
+        assert [alloc.alloc() for _ in range(4)] == [0, 1, 2, 3]
+        assert alloc.high_water == 4
+        assert alloc.live == 4
+
+    def test_retired_slot_not_reused_before_reclaim(self):
+        alloc = SlotAllocator()
+        s = alloc.alloc()
+        alloc.retire(s)
+        assert alloc.alloc() == 1  # slot 0 still quarantined
+        assert alloc.retired_mask() == 1 << s
+
+    def test_reclaim_returns_lowest_first(self):
+        alloc = SlotAllocator()
+        for _ in range(5):
+            alloc.alloc()
+        for s in (3, 0, 4):
+            alloc.retire(s)
+        assert sorted(alloc.reclaim()) == [0, 3, 4]
+        assert alloc.retired_mask() == 0
+        # Lowest free slot first, regardless of retirement order.
+        assert alloc.alloc() == 0
+        assert alloc.alloc() == 3
+        assert alloc.alloc() == 4
+        assert alloc.alloc() == 5  # heap drained: back to fresh slots
+
+    def test_retire_unknown_slot_raises(self):
+        alloc = SlotAllocator()
+        with pytest.raises(ValueError):
+            alloc.retire(0)
+        alloc.alloc()
+        with pytest.raises(ValueError):
+            alloc.retire(1)
+        with pytest.raises(ValueError):
+            alloc.retire(-1)
+
+
+#: scripts are sequences of operations; alloc carries no argument, retire
+#: picks (by index) one of the currently-live slots, reclaim flushes.
+_OPS = st.lists(
+    st.one_of(
+        st.just(("alloc",)),
+        st.tuples(st.just("retire"), st.integers(min_value=0)),
+        st.just(("reclaim",)),
+    ),
+    max_size=60,
+)
+
+
+class TestProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(_OPS)
+    def test_alloc_always_lowest_safe_slot(self, ops):
+        """Whatever the alloc/retire/reclaim interleaving, every ``alloc``
+        returns the lowest slot that is neither live nor quarantined --
+        and never a slot whose stale bits could still be in flight."""
+        alloc = SlotAllocator()
+        live: set[int] = set()
+        retired: set[int] = set()
+        high = 0
+        for op in ops:
+            if op[0] == "alloc":
+                s = alloc.alloc()
+                candidates = set(range(high)) - live - retired
+                expected = min(candidates) if candidates else high
+                assert s == expected, f"alloc gave {s}, lowest safe is {expected}"
+                assert s not in live and s not in retired
+                live.add(s)
+                high = max(high, s + 1)
+            elif op[0] == "retire":
+                if not live:
+                    continue
+                s = sorted(live)[op[1] % len(live)]
+                alloc.retire(s)
+                live.discard(s)
+                retired.add(s)
+            else:
+                got = set(alloc.reclaim())
+                assert got == retired
+                retired.clear()
+            # Invariants after every step.
+            assert alloc.live == len(live)
+            assert alloc.high_water == high
+            assert alloc.retired_mask() == sum(1 << s for s in retired)

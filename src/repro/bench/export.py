@@ -15,7 +15,7 @@ from typing import Any
 
 from repro.bench.experiments import ExperimentResult
 from repro.bench.runner import RunResult
-from repro.sim.metrics import Metrics
+from repro.sim.metrics import Metrics, percentile_block
 
 
 def run_result_to_dict(result: RunResult) -> dict[str, Any]:
@@ -25,6 +25,9 @@ def run_result_to_dict(result: RunResult) -> dict[str, Any]:
         "n_queries": result.n_queries,
         "mean_response_s": result.mean_response,
         "stdev_response_s": result.stdev_response,
+        # The canonical p50/p95/p99 block (same helper as the service and
+        # shard tiers), so downstream plots never re-derive percentiles.
+        "response_percentiles": percentile_block(result.response_times),
         "sim_seconds": result.sim_seconds,
         "avg_cores_used": result.avg_cores_used,
         "avg_read_mb_s": result.avg_read_mb_s,

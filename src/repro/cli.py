@@ -347,6 +347,10 @@ def cmd_serve(args) -> int:
     from repro.server.service import serve
 
     _apply_gqp_plane(args)
+    if args.shards is not None:
+        return _serve_sharded(args)
+    if args.fingerprints is not None:
+        raise SystemExit("repro serve: --fingerprints needs --shards N")
     try:
         config = ServiceConfig(
             queue_capacity=args.queue_capacity,
@@ -369,6 +373,53 @@ def cmd_serve(args) -> int:
         )
     except (ValueError, OSError) as exc:
         raise SystemExit(f"repro serve: {exc}")
+    if args.json:
+        from repro.bench.export import metrics_to_json
+
+        print(
+            metrics_to_json(
+                report.metrics,
+                hz=report.machine_hz,
+                window=report.window,
+                extra=report.header(),
+            )
+        )
+    else:
+        print(report.render())
+    return 0
+
+
+def _serve_sharded(args) -> int:
+    """``serve --shards N``: the scatter/gather tier.  Admission knobs are
+    shared with the unsharded path; routing-policy and result-cache flags
+    do not apply (each shard runs one engine; there is no route choice)."""
+    from repro.server.config import ServiceConfig
+    from repro.shard import serve_sharded
+
+    try:
+        config = ServiceConfig(
+            queue_capacity=args.queue_capacity,
+            max_in_flight=args.max_in_flight,
+            queue_timeout=args.timeout,
+        )
+        report = serve_sharded(
+            shards=args.shards,
+            partition=args.partition,
+            engine=args.shard_engine,
+            arrival=args.arrival,
+            rate=args.rate,
+            duration=args.duration,
+            seed=args.seed,
+            workload=args.workload,
+            sf=args.sf,
+            config=config,
+            shard_timeout_s=args.shard_timeout,
+            trace_path=args.trace,
+        )
+    except (ValueError, OSError) as exc:
+        raise SystemExit(f"repro serve: {exc}")
+    if args.fingerprints is not None:
+        report.write_fingerprints(args.fingerprints)
     if args.json:
         from repro.bench.export import metrics_to_json
 
@@ -410,6 +461,18 @@ def cmd_list(_args) -> int:
             "cache policies (--cache-policy)",
             ["name", "strategy"],
             [[n, d] for n, d in CACHE_POLICIES.items()],
+        )
+    )
+    print()
+    print(
+        format_table(
+            "shard tier (serve --shards N)",
+            ["knob", "choices"],
+            [
+                ["--partition", "hash (spread, default) | range (contiguous blocks)"],
+                ["--shard-engine", "cjoin-sp (default) | qpipe-sp, one engine per shard"],
+                ["--fingerprints PATH", "per-query sha256 lines; identical for any N"],
+            ],
         )
     )
     print()
@@ -537,6 +600,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="shared result cache budget in MB (0 disables)")
     p_serve.add_argument("--cache-policy", choices=("lru", "benefit"), default="benefit",
                          help="result-cache eviction policy (see: repro list)")
+    p_serve.add_argument("--shards", type=int, default=None,
+                         help="serve on N shard worker processes (scatter/gather tier); "
+                         "results are byte-identical for any N")
+    p_serve.add_argument("--partition", choices=("hash", "range"), default="hash",
+                         help="fact-table placement across shards (--shards)")
+    p_serve.add_argument("--shard-engine", choices=("cjoin-sp", "qpipe-sp"), default="cjoin-sp",
+                         help="per-shard engine configuration (--shards)")
+    p_serve.add_argument("--shard-timeout", type=float, default=60.0,
+                         help="wall-clock seconds before a stuck shard is killed (--shards)")
+    p_serve.add_argument("--fingerprints", default=None, metavar="PATH",
+                         help="write one '<seq> <sha256>' line per merged query "
+                         "(--shards; CI diffs these across shard counts)")
     p_serve.add_argument("--json", action="store_true", help="dump the report as JSON")
     p_serve.add_argument("--profile", action="store_true",
                          help="cProfile the run and print the hottest functions")

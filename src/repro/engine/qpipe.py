@@ -52,6 +52,12 @@ class QueryHandle:
     gate: Gate
     root_packet: Packet | None = None
     results: list = field(default_factory=list)
+    #: ``(rows, weight)`` per root-exchange batch, recorded only when the
+    #: query was submitted with ``collect_batches=True``.  Weighted batches
+    #: are what the shard tier's partial-aggregate merge consumes: each
+    #: generated row stands for ``weight`` real rows, and additive
+    #: aggregates must scale by it (exactly as the aggregation stage does).
+    batches: list[tuple[list, float]] | None = None
 
     def wait(self) -> Iterator[Any]:
         """Generator: block (in simulated time) until the query completes."""
@@ -114,9 +120,17 @@ class QPipeEngine:
         return self.submit_plan(plan, label=label or spec.label, spec=spec)
 
     def submit_plan(
-        self, plan: PlanNode, label: str = "", spec: StarQuerySpec | None = None
+        self,
+        plan: PlanNode,
+        label: str = "",
+        spec: StarQuerySpec | None = None,
+        collect_batches: bool = False,
     ) -> QueryHandle:
-        """Submit an explicit physical plan (e.g. TPC-H Q1)."""
+        """Submit an explicit physical plan (e.g. TPC-H Q1).
+
+        ``collect_batches=True`` additionally records each root-exchange
+        batch as ``(rows, weight)`` on the handle (see
+        :attr:`QueryHandle.batches`)."""
         query = Query(
             query_id=next(self._query_ids),
             spec=spec,
@@ -126,6 +140,8 @@ class QPipeEngine:
         )
         root = self._build(plan, query)
         handle = QueryHandle(query=query, gate=Gate(self.sim, f"q{query.query_id}.done"), root_packet=root)
+        if collect_batches:
+            handle.batches = []
         self.handles.append(handle)
         self.sim.spawn(
             self._client(query, root, handle),
@@ -141,6 +157,8 @@ class QPipeEngine:
             batch = yield from reader.read()
             if batch is END:
                 break
+            if handle.batches is not None:
+                handle.batches.append((list(batch.rows), batch.weight))
             query.results.extend(batch.rows)
         query.finish_time = self.sim.now
         handle.results = query.results

@@ -25,6 +25,7 @@ from repro.parallel.fabric import (
     resolve_jobs,
     run_cells,
 )
+from repro.parallel.workers import WorkerCrashed, WorkerHandle, WorkerUnresponsive
 
 __all__ = [
     "JOBS_ENV",
@@ -35,6 +36,9 @@ __all__ = [
     "ParallelRunner",
     "SweepError",
     "SweepOutcome",
+    "WorkerCrashed",
+    "WorkerHandle",
+    "WorkerUnresponsive",
     "WorkloadSpec",
     "current_fast_flags",
     "execute_cell",

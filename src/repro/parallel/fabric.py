@@ -208,7 +208,14 @@ class ParallelRunner:
                 except Exception:
                     # The cell raised in the worker: retry serially once so
                     # a transient/worker-only failure doesn't cost the sweep.
-                    out, failure = self._retry_serial(fn, key, item, "raised in worker")
+                    # Keep the worker-side traceback: if the retry *also*
+                    # fails, the report must show both failures -- they can
+                    # differ (e.g. worker-only state), and the original is
+                    # usually the one that matters.
+                    out, failure = self._retry_serial(
+                        fn, key, item, "raised in worker",
+                        original=traceback.format_exc(limit=8),
+                    )
                 else:
                     outcome.results[key] = out
                     self._report(i, len(items), key, _describe(out))
@@ -226,13 +233,17 @@ class ParallelRunner:
                 pool.shutdown(wait=True, cancel_futures=True)
         return outcome
 
-    def _retry_serial(self, fn, key, item, why):
+    def _retry_serial(self, fn, key, item, why, original: str | None = None):
         try:
             out = fn(item)
         except Exception:
-            return None, CellFailure(
-                key, "error", f"{why}; serial retry failed:\n{traceback.format_exc(limit=8)}"
-            )
+            message = f"{why}; serial retry failed:\n{traceback.format_exc(limit=8)}"
+            if original is not None:
+                message = (
+                    f"{why}:\n{original}"
+                    f"serial retry also failed:\n{traceback.format_exc(limit=8)}"
+                )
+            return None, CellFailure(key, "error", message)
         if isinstance(out, CellResult):
             out.retried = True
         return out, None

@@ -72,6 +72,30 @@ class StarQuerySpec:
         The fact predicate (if any) is applied on the fact scan's output;
         dimension predicates on the build inputs.  Join nodes are labelled
         hj1..hjN bottom-up for the sharing-opportunity statistics."""
+        probe = self.to_join_only_plan(tables, use_cjoin=False)
+        plan: PlanNode = AggregateNode(probe, self.group_by, self.aggregates)
+        if self.order_by:
+            plan = SortNode(plan, self.order_by)
+        return plan
+
+    def to_join_only_plan(self, tables: dict[str, Table], use_cjoin: bool = False) -> PlanNode:
+        """The joins of this query *without* the aggregation/sort on top.
+
+        This is the plan a shard worker runs: selections and joins are
+        evaluated inside the shard's own engine (query-centric chain or the
+        shared CJOIN pipeline), while aggregation happens at the shard
+        boundary as an order-independent *partial aggregate*
+        (:mod:`repro.query.merge`) so that scatter/gather can merge shard
+        partials into exactly one canonical answer for any shard count."""
+        if use_cjoin:
+            fact = tables[self.fact_table]
+            return CJoinNode(
+                fact_table=fact,
+                dims=self.dims,
+                fact_payload=self.fact_payload,
+                fact_predicate=self.fact_predicate,
+                dim_tables=tuple(tables[d.dim_table] for d in self.dims),
+            )
         fact = tables[self.fact_table]
         probe: PlanNode = ScanNode(fact)
         if self.fact_predicate is not None:
@@ -81,29 +105,15 @@ class StarQuerySpec:
             if d.predicate is not None:
                 build = SelectNode(build, d.predicate)
             probe = HashJoinNode(
-                probe,
-                build,
-                probe_key=d.fact_fk,
-                build_key=d.dim_key,
-                label=f"hj{depth}",
+                probe, build, probe_key=d.fact_fk, build_key=d.dim_key, label=f"hj{depth}"
             )
-        plan: PlanNode = AggregateNode(probe, self.group_by, self.aggregates)
-        if self.order_by:
-            plan = SortNode(plan, self.order_by)
-        return plan
+        return probe
 
     def to_gqp_plan(self, tables: dict[str, Table]) -> PlanNode:
         """CJOIN form: shared joins in the global query plan, query-centric
         aggregation and sort above (CJOIN shares only selections and
         hash-joins; Section 3.2)."""
-        fact = tables[self.fact_table]
-        cjoin = CJoinNode(
-            fact_table=fact,
-            dims=self.dims,
-            fact_payload=self.fact_payload,
-            fact_predicate=self.fact_predicate,
-            dim_tables=tuple(tables[d.dim_table] for d in self.dims),
-        )
+        cjoin = self.to_join_only_plan(tables, use_cjoin=True)
         plan: PlanNode = AggregateNode(cjoin, self.group_by, self.aggregates)
         if self.order_by:
             plan = SortNode(plan, self.order_by)

@@ -19,10 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.sim.metrics import Metrics, percentile
+from repro.sim.metrics import REPORT_PERCENTILES, Metrics, percentile_block
 
-#: The percentiles every report carries, in SLO-dashboard order.
-REPORT_PERCENTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+__all__ = ["REPORT_PERCENTILES", "ServiceMetrics"]
 
 
 @dataclass
@@ -89,27 +88,16 @@ class ServiceMetrics(Metrics):
     def latency_percentiles(self) -> dict[str, float]:
         """``{"p50": ..., "p95": ..., "p99": ...}`` over completed queries
         (zeros when nothing completed -- an idle report stays well-formed)."""
-        if not self.latencies:
-            return {name: 0.0 for name, _ in REPORT_PERCENTILES}
-        return {name: percentile(self.latencies, p) for name, p in REPORT_PERCENTILES}
+        return percentile_block(self.latencies)
 
     def queue_wait_percentiles(self) -> dict[str, float]:
-        if not self.queue_waits:
-            return {name: 0.0 for name, _ in REPORT_PERCENTILES}
-        return {name: percentile(self.queue_waits, p) for name, p in REPORT_PERCENTILES}
+        return percentile_block(self.queue_waits)
 
     def cache_latency_split(self) -> dict[str, dict[str, float]]:
         """Hit-served vs computed latency percentiles (with counts)."""
-
-        def side(values: list[float]) -> dict[str, float]:
-            out: dict[str, float] = {"count": float(len(values))}
-            for name, p in REPORT_PERCENTILES:
-                out[name] = percentile(values, p) if values else 0.0
-            return out
-
         return {
-            "hit_served": side(self.cache_hit_latencies),
-            "computed": side(self.cache_miss_latencies),
+            "hit_served": percentile_block(self.cache_hit_latencies, include_count=True),
+            "computed": percentile_block(self.cache_miss_latencies, include_count=True),
         }
 
     def throughput(self, window: float) -> float:

@@ -1,0 +1,100 @@
+"""Shard-tier metrics: the service SLO view plus per-shard attribution.
+
+:class:`ShardServiceMetrics` extends the server tier's
+:class:`~repro.server.metrics.ServiceMetrics` (same latency / queue-wait /
+admission counters, measured on the virtual timeline) with what only a
+sharded deployment can report:
+
+* per-shard service-time percentiles (the same canonical
+  :func:`~repro.sim.metrics.percentile_block` every other report uses);
+* **straggler attribution** -- for each gathered query, which shard's
+  partial arrived last (set the critical path).  A healthy hash partition
+  spreads this evenly; a skewed one concentrates it;
+* scatter/gather overhead totals (virtual seconds spent on dispatch and
+  merge rather than shard work);
+* failure accounting: worker crashes, respawns, retried queries, stuck-
+  shard timeouts, and the structured per-query failure records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.server.metrics import ServiceMetrics
+from repro.sim.metrics import percentile_block
+
+__all__ = ["ShardServiceMetrics"]
+
+
+@dataclass
+class ShardServiceMetrics(ServiceMetrics):
+    """Metrics for one :class:`~repro.shard.service.ShardService` run."""
+
+    n_shards: int = 0
+    #: simulated service seconds per shard, one sample per gathered query
+    per_shard_svc: dict[int, list[float]] = field(default_factory=dict)
+    #: queries for which this shard's partial completed last
+    straggler_counts: dict[int, int] = field(default_factory=dict)
+    #: virtual seconds spent scattering plan specs / merging partials
+    scatter_overhead_s: float = 0.0
+    gather_overhead_s: float = 0.0
+    #: peak per-shard backlog (virtual seconds of queued shard work)
+    #: observed at any dispatch -- the shard tier's pressure gauge
+    peak_shard_backlog_s: float = 0.0
+    #: queries retried after a worker crash (and then gathered normally)
+    shard_retries: int = 0
+    #: worker processes (re)spawned after a crash or a timeout kill
+    shard_respawns: int = 0
+    #: stuck-shard timeouts (each kills + respawns the worker, no retry)
+    shard_timeouts: int = 0
+    #: queries that ended in a structured failure instead of a result
+    failed: int = 0
+    #: structured failure records: seq, shard, kind, detail, deadline view
+    failures: list[dict[str, Any]] = field(default_factory=list)
+
+    # -- recording ------------------------------------------------------
+    def record_shard_service(self, shard_id: int, svc_seconds: float) -> None:
+        self.per_shard_svc.setdefault(shard_id, []).append(svc_seconds)
+
+    def record_straggler(self, shard_id: int) -> None:
+        self.straggler_counts[shard_id] = self.straggler_counts.get(shard_id, 0) + 1
+
+    def record_overhead(self, scatter_s: float, gather_s: float) -> None:
+        self.scatter_overhead_s += scatter_s
+        self.gather_overhead_s += gather_s
+
+    def record_pressure(self, backlog_s: float) -> None:
+        if backlog_s > self.peak_shard_backlog_s:
+            self.peak_shard_backlog_s = backlog_s
+
+    def record_failure(self, record: dict[str, Any]) -> None:
+        self.failed += 1
+        self.failures.append(record)
+
+    # -- derived --------------------------------------------------------
+    def per_shard_percentiles(self) -> dict[str, dict[str, float]]:
+        """``{"shard0": {count, p50, p95, p99}, ...}`` of simulated service
+        seconds -- the balance view (skew shows up as unequal p99s)."""
+        return {
+            f"shard{i}": percentile_block(self.per_shard_svc.get(i, []), include_count=True)
+            for i in range(self.n_shards)
+        }
+
+    # -- export ---------------------------------------------------------
+    def to_dict(self, hz: float | None = None, window: float | None = None) -> dict[str, Any]:
+        out = super().to_dict(hz=hz, window=window)
+        out["shards"] = {
+            "n_shards": self.n_shards,
+            "service_seconds": self.per_shard_percentiles(),
+            "stragglers": {f"shard{i}": n for i, n in sorted(self.straggler_counts.items())},
+            "scatter_overhead_s": self.scatter_overhead_s,
+            "gather_overhead_s": self.gather_overhead_s,
+            "peak_backlog_s": self.peak_shard_backlog_s,
+            "retries": self.shard_retries,
+            "respawns": self.shard_respawns,
+            "timeouts": self.shard_timeouts,
+            "failed": self.failed,
+            "failures": list(self.failures),
+        }
+        return out

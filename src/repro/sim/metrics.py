@@ -19,6 +19,11 @@ from typing import Any
 #: Canonical breakdown categories, in the paper's Figure 11 legend order.
 CATEGORIES = ("hashing", "joins", "aggregation", "scans", "locks", "misc")
 
+#: The percentiles every report carries, in SLO-dashboard order.  One
+#: definition for the whole package: the service layer, the JSON exporters
+#: and the shard tier all serialize the same block shape.
+REPORT_PERCENTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
 
 def percentile(values: list[float], p: float) -> float:
     """Linear-interpolated percentile of ``values`` at fraction ``p``.
@@ -34,6 +39,26 @@ def percentile(values: list[float], p: float) -> float:
     f = math.floor(k)
     c = min(f + 1, len(xs) - 1)
     return xs[f] + (xs[c] - xs[f]) * (k - f)
+
+
+def percentile_block(
+    values: list[float],
+    percentiles: tuple[tuple[str, float], ...] = REPORT_PERCENTILES,
+    include_count: bool = False,
+) -> dict[str, float]:
+    """The canonical ``{"p50": ..., "p95": ..., "p99": ...}`` report block.
+
+    Every percentile block the package serializes -- service latency and
+    queue-wait reports, per-run response-time exports, the shard tier's
+    per-shard views -- comes from this one helper, so they all agree on
+    names, order and the all-zeros shape for empty inputs (an idle report
+    stays well-formed)."""
+    out: dict[str, float] = {}
+    if include_count:
+        out["count"] = float(len(values))
+    for name, p in percentiles:
+        out[name] = percentile(values, p) if values else 0.0
+    return out
 
 
 @dataclass

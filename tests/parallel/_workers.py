@@ -47,6 +47,14 @@ def always_raise(item: Item) -> int:
     raise ValueError(f"persistent failure for {item.key}")
 
 
+def raise_differently(item: Item) -> int:
+    """Fails everywhere, with a DIFFERENT reason in the pool worker than in
+    the parent's serial retry -- the failure report must keep both."""
+    if os.getpid() != item.parent_pid:
+        raise RuntimeError(f"worker-side reason for {item.key}")
+    raise ValueError(f"parent-side reason for {item.key}")
+
+
 def sleep_then_echo(item: Item) -> int:
     """Holds its worker for ``sleep_s`` -- the timeout test's stuck cell."""
     time.sleep(item.sleep_s)

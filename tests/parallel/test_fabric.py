@@ -20,6 +20,7 @@ from tests.parallel._workers import (
     always_raise,
     echo,
     exit_in_worker,
+    raise_differently,
     raise_in_worker,
     sleep_then_echo,
 )
@@ -128,6 +129,21 @@ def test_serial_failure_is_structured():
     out = ParallelRunner(jobs=1).map(always_raise, _items(2))
     assert not out.results
     assert [f.kind for f in out.failures] == ["error", "error"]
+
+
+def test_failed_retry_keeps_original_worker_reason():
+    # The worker raises one error, the serial retry a different one: the
+    # structured failure must report BOTH -- losing the worker-side reason
+    # would hide the failure that actually happened first.
+    items = _items(2, parent_pid=os.getpid())
+    out = ParallelRunner(jobs=2).map(raise_differently, items)
+    assert not out.results
+    assert len(out.failures) == 2
+    for i, failure in enumerate(out.failures):
+        assert failure.kind == "error"
+        assert f"worker-side reason for cell{i}" in failure.message
+        assert f"parent-side reason for cell{i}" in failure.message
+        assert "retry also failed" in failure.message
 
 
 def test_timeout_is_structured_not_a_hang():

@@ -14,8 +14,15 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING, Any, Iterator
 
-from repro.engine.config import batch_kernels_default, fuse_charges_default
+from repro.engine.config import (
+    batch_kernels_default,
+    columnar_pages_default,
+    fuse_charges_default,
+)
 from repro.engine.qpipe import QueryHandle
+from repro.engine.stages.aggregate import _finalize, accumulate_columnar
+from repro.engine.stages.join import probe_columnar, single_match_table
+from repro.storage.page import ColumnBatch
 from repro.query.plan import (
     AggregateNode,
     CJoinNode,
@@ -97,90 +104,267 @@ class VolcanoEngine:
     def _backend(self, query: Query, plan: PlanNode, handle: QueryHandle) -> Iterator[Any]:
         yield CPU(self.cost.packet_dispatch, "misc")
         rows, _w = yield from self._eval(plan)
+        if isinstance(rows, ColumnBatch):
+            rows = list(rows.rows)
         query.results = rows
         query.finish_time = self.sim.now
         handle.results = rows
         handle.gate.open()
 
     def _eval(self, node: PlanNode) -> Iterator[Any]:
-        cost = self.cost
-        if isinstance(node, ScanNode):
-            # Sequential scan through the buffer pool with OS read-ahead
-            # (PostgreSQL enjoys the same kernel prefetching the research
-            # prototypes do), but no sharing across queries of any kind.
-            from repro.storage.prefetch import PageSource
+        """Evaluate bottom-up; a relation is either a list of row tuples or
+        (columnar fast path) a :class:`ColumnBatch` over the table's column
+        vectors.  Charges count rows, never representation, so both modes
+        are tick-identical.
 
-            table = node.table
-            rows: list[tuple] = []
-            if table.num_pages:
-                source = PageSource(self.sim, self.storage, table, 0, name="pg-scan")
-                for _ in range(table.num_pages):
-                    page = yield from source.next()
-                    yield cost.scan(len(page.rows), page.weight)
-                    rows.extend(page.rows)
-                source.close()
-            return rows, table.row_weight
-        if isinstance(node, SelectNode):
-            rows, w = yield from self._eval(node.child)
-            yield cost.predicate(len(rows), w, max(node.predicate.terms, 1))
-            if batch_kernels_default():
-                kernel = node.predicate.compile_batch(node.child.schema)
-                return kernel(rows), w
-            pred = node.predicate.compile(node.child.schema)
-            return [r for r in rows if pred(r)], w
-        if isinstance(node, HashJoinNode):
-            build_rows, bw = yield from self._eval(node.build)
-            table: dict[Any, list[tuple]] = {}
-            bkey = node.build.schema.index(node.build_key)
-            if build_rows:
-                if fuse_charges_default():
-                    yield CPU_FUSED(cost.hashing(len(build_rows), bw), cost.build(len(build_rows), bw))
-                else:
-                    yield cost.hashing(len(build_rows), bw)
-                    yield cost.build(len(build_rows), bw)
-                setdefault = table.setdefault
-                for r in build_rows:
-                    setdefault(r[bkey], []).append(r)
-            probe_rows, w = yield from self._eval(node.probe)
-            pkey = node.probe.schema.index(node.probe_key)
-            get = table.get
-            out = [r + m for r in probe_rows for m in get(r[pkey], ())]
-            cmds = []
-            if probe_rows:
-                cmds.append(cost.hashing(len(probe_rows), w, equals=len(out)))
-                cmds.append(cost.probe(len(probe_rows), w))
-            if out:
-                cmds.append(cost.emit_join(len(out), w))
-            if cmds:
-                if fuse_charges_default():
-                    yield CPU_FUSED(*cmds)
-                else:
-                    for cmd in cmds:
-                        yield cmd
-            return out, w
-        if isinstance(node, AggregateNode):
-            rows, w = yield from self._eval(node.child)
-            if rows:
-                if fuse_charges_default():
-                    yield CPU_FUSED(
-                        CPU(cost.hash_func * len(rows) * w, "aggregation"),
-                        cost.aggregate(len(rows), w, functions=len(node.aggregates)),
+        The tree walk is an explicit stack machine rather than recursive
+        ``yield from``: every simulator resume re-enters exactly one
+        generator frame instead of bubbling through one frame per plan
+        level (Q3.2 plans are ~6 deep, and the per-page scan yields are the
+        hottest resume path in the whole baseline).  Frames are
+        ``(node, phase, saved)``; ``result`` carries the last completed
+        subtree's ``(relation, weight)``.  The phase splits reproduce the
+        recursive order exactly -- a hash join charges its build *before*
+        its probe subtree runs."""
+        cost = self.cost
+        result: tuple[Any, float] | None = None
+        stack: list[tuple[PlanNode, int, Any]] = [(node, 0, None)]
+        while stack:
+            nd, phase, saved = stack.pop()
+            if isinstance(nd, ScanNode):
+                # Sequential scan through the buffer pool with OS read-ahead
+                # (PostgreSQL enjoys the same kernel prefetching the research
+                # prototypes do), but no sharing across queries of any kind.
+                # Inlined here (not a helper generator): the per-page yields
+                # are the hottest resume path in the whole baseline, and on
+                # the direct path the buffer pool is driven straight -- no
+                # PageSource frame, no helper frame.
+                table = nd.table
+                columnar = columnar_pages_default()
+                rows: list[tuple] = []
+                npages = table.num_pages
+                if npages:
+                    storage = self.storage
+                    scfg = storage.config
+                    if (
+                        storage.ram_resident
+                        or scfg.direct_io
+                        or scfg.prefetch_window <= 0
+                    ):
+                        read_page = storage.read_page
+                        prepay = (
+                            storage.latch_prepay_charge()
+                            if fuse_charges_default()
+                            else None
+                        )
+                        if prepay is not None:
+                            # Prepay the next page's buffer-pool latch charge
+                            # at the tail of this page's scan charge: one
+                            # fewer event per page, tick-identical (the latch
+                            # take still happens at the charge's completion
+                            # instant).  Fused commands are immutable, so
+                            # cache them per page length.
+                            fused_scans: dict[int, Any] = {}
+                            last = npages - 1
+                            prepaid = False
+                            for i in range(npages):
+                                page = yield from read_page(
+                                    table, i, latch_prepaid=prepaid
+                                )
+                                n = len(page)
+                                if i < last:
+                                    cmd = fused_scans.get(n)
+                                    if cmd is None:
+                                        cmd = fused_scans[n] = CPU_FUSED(
+                                            cost.scan(n, page.weight), prepay
+                                        )
+                                    prepaid = True
+                                else:
+                                    cmd = cost.scan(n, page.weight)
+                                    prepaid = False
+                                yield cmd
+                                if not columnar:
+                                    rows.extend(page.rows)
+                        else:
+                            for i in range(npages):
+                                page = yield from read_page(table, i)
+                                yield cost.scan(len(page), page.weight)
+                                if not columnar:
+                                    rows.extend(page.rows)
+                    else:
+                        from repro.storage.prefetch import PageSource
+
+                        source = PageSource(
+                            self.sim, storage, table, 0, name="pg-scan"
+                        )
+                        for _ in range(npages):
+                            page = yield from source.next()
+                            yield cost.scan(len(page), page.weight)
+                            if not columnar:
+                                rows.extend(page.rows)
+                        source.close()
+                if columnar:
+                    # Pages arrive in table order, so the scan output is a
+                    # zero-copy view of the table's (cached) column vectors.
+                    result = (
+                        ColumnBatch(table.columns(), None, table.row_weight),
+                        table.row_weight,
                     )
                 else:
-                    yield CPU(cost.hash_func * len(rows) * w, "aggregation")
-                    yield cost.aggregate(len(rows), w, functions=len(node.aggregates))
-            from repro.baselines.reference import _aggregate
+                    result = rows, table.row_weight
+            elif isinstance(nd, SelectNode):
+                if phase == 0:
+                    stack.append((nd, 1, None))
+                    stack.append((nd.child, 0, None))
+                    continue
+                rel, w = result
+                yield cost.predicate(len(rel), w, max(nd.predicate.terms, 1))
+                if isinstance(rel, ColumnBatch):
+                    ck = nd.predicate.compile_cols(nd.child.schema)
+                    if ck is not None:
+                        result = rel.take(ck(rel.column, len(rel))), w
+                    else:
+                        kernel = nd.predicate.compile_batch(nd.child.schema)
+                        result = kernel(rel.rows), w
+                elif batch_kernels_default():
+                    kernel = nd.predicate.compile_batch(nd.child.schema)
+                    result = kernel(rel), w
+                else:
+                    pred = nd.predicate.compile(nd.child.schema)
+                    result = [r for r in rel if pred(r)], w
+            elif isinstance(nd, HashJoinNode):
+                if phase == 0:
+                    stack.append((nd, 1, None))
+                    stack.append((nd.build, 0, None))
+                    continue
+                if phase == 1:
+                    build_rel, bw = result
+                    # Build rows materialize either way: they become the
+                    # probe output's tail payloads (dims are small
+                    # post-filter).
+                    build_rows = (
+                        build_rel.rows
+                        if isinstance(build_rel, ColumnBatch)
+                        else build_rel
+                    )
+                    # Star dimensions are keyed by primary key, so the
+                    # common case is one row per key: build the flat
+                    # single-match dict directly (C-level dict(zip)) and
+                    # only fall back to the multi-match table when a
+                    # duplicate key shows up.
+                    table: dict[Any, list[tuple]] | None = None
+                    single: dict[Any, tuple] | None = None
+                    bkey = nd.build.schema.index(nd.build_key)
+                    if build_rows:
+                        nb = len(build_rows)
+                        if fuse_charges_default():
+                            yield CPU_FUSED(cost.hashing(nb, bw), cost.build(nb, bw))
+                        else:
+                            yield cost.hashing(nb, bw)
+                            yield cost.build(nb, bw)
+                        bkeys = [r[bkey] for r in build_rows]
+                        single = dict(zip(bkeys, build_rows))
+                        if len(single) != nb:
+                            single = None
+                            table = {}
+                            setdefault = table.setdefault
+                            for k, r in zip(bkeys, build_rows):
+                                setdefault(k, []).append(r)
+                    stack.append((nd, 2, (table, single)))
+                    stack.append((nd.probe, 0, None))
+                    continue
+                table, single = saved
+                probe_rel, w = result
+                pkey = nd.probe.schema.index(nd.probe_key)
+                n = len(probe_rel)
+                if isinstance(probe_rel, ColumnBatch):
+                    if single is None and table is None:
+                        table = {}  # empty build side: nothing matches
+                    out: Any = probe_columnar(
+                        probe_rel,
+                        pkey,
+                        table.get if table is not None else None,
+                        w,
+                        single,
+                    )
+                elif single is not None:
+                    sget = single.get
+                    out = [
+                        r + m for r in probe_rel if (m := sget(r[pkey])) is not None
+                    ]
+                elif table is not None:
+                    get = table.get
+                    out = [r + m for r in probe_rel for m in get(r[pkey], ())]
+                else:
+                    out = []
+                nout = len(out)
+                cmds = []
+                if n:
+                    cmds.append(cost.hashing(n, w, equals=nout))
+                    cmds.append(cost.probe(n, w))
+                if nout:
+                    cmds.append(cost.emit_join(nout, w))
+                if cmds:
+                    if fuse_charges_default():
+                        yield CPU_FUSED(*cmds)
+                    else:
+                        for cmd in cmds:
+                            yield cmd
+                result = out, w
+            elif isinstance(nd, AggregateNode):
+                if phase == 0:
+                    stack.append((nd, 1, None))
+                    stack.append((nd.child, 0, None))
+                    continue
+                rel, w = result
+                n = len(rel)
+                if n:
+                    if fuse_charges_default():
+                        yield CPU_FUSED(
+                            CPU(cost.hash_func * n * w, "aggregation"),
+                            cost.aggregate(n, w, functions=len(nd.aggregates)),
+                        )
+                    else:
+                        yield CPU(cost.hash_func * n * w, "aggregation")
+                        yield cost.aggregate(n, w, functions=len(nd.aggregates))
+                schema = nd.child.schema
+                if isinstance(rel, ColumnBatch):
+                    # Late-materialized accumulation; same fold order as the
+                    # reference row loop, so every float is bit-identical.
+                    specs = nd.aggregates
+                    fns = [
+                        a.expr.compile(schema) if a.expr is not None else None
+                        for a in specs
+                    ]
+                    group_idx = tuple(schema.index(g) for g in nd.group_by)
+                    groups: dict = {}
+                    accumulate_columnar(rel, n, w, group_idx, specs, fns, schema, groups)
+                    out = [
+                        key + tuple(_finalize(specs[i], acc, i) for i in range(len(specs)))
+                        for key, acc in groups.items()
+                    ]
+                    result = out, 1.0
+                else:
+                    from repro.baselines.reference import _aggregate
 
-            return _aggregate(node, rows, w, node.child.schema), 1.0
-        if isinstance(node, SortNode):
-            rows, w = yield from self._eval(node.child)
-            if rows:
-                yield cost.sort(len(rows), w)
-                schema = node.child.schema
-                for col, ascending in reversed(node.keys):
-                    i = schema.index(col)
-                    rows.sort(key=lambda r, i=i: r[i], reverse=not ascending)
-            return rows, w
-        if isinstance(node, CJoinNode):
-            raise TypeError("the Volcano baseline does not evaluate GQP plans")
-        raise TypeError(f"cannot evaluate {type(node).__name__}")
+                    result = _aggregate(nd, rel, w, schema), 1.0
+            elif isinstance(nd, SortNode):
+                if phase == 0:
+                    stack.append((nd, 1, None))
+                    stack.append((nd.child, 0, None))
+                    continue
+                rel, w = result
+                rows = list(rel.rows) if isinstance(rel, ColumnBatch) else rel
+                if rows:
+                    yield cost.sort(len(rows), w)
+                    schema = nd.child.schema
+                    for col, ascending in reversed(nd.keys):
+                        i = schema.index(col)
+                        rows.sort(key=lambda r, i=i: r[i], reverse=not ascending)
+                result = rows, w
+            elif isinstance(nd, CJoinNode):
+                raise TypeError("the Volcano baseline does not evaluate GQP plans")
+            else:
+                raise TypeError(f"cannot evaluate {type(nd).__name__}")
+        return result
+

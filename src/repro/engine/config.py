@@ -28,6 +28,7 @@ from dataclasses import dataclass, replace
 # treat them as engine configuration.
 from repro.sim.fastpath import (  # noqa: F401  (re-exports)
     batch_kernels_default,
+    columnar_pages_default,
     fast_path,
     fuse_charges_default,
     gqp_adaptive_ordering_default,
@@ -96,6 +97,13 @@ class EngineConfig:
     #: Neither changes a single simulated tick.
     batch_kernels: bool | None = None
     fuse_charges: bool | None = None
+    #: columnar pages (None = follow the process-wide default): scans emit
+    #: ``ColumnBatch`` column views and the stages run late-materialized --
+    #: selection vectors instead of filtered row lists, join tails instead
+    #: of wide output tuples.  Charges are computed from row counts, which
+    #: the columnar plane keeps identical, so like the other fast-path
+    #: flags it never changes a simulated tick.
+    columnar_pages: bool | None = None
     #: the adaptive GQP data plane (None = follow the process-wide default;
     #: see ``gqp_plane`` / ``set_gqp_plane``).  Unlike the fast-path flags,
     #: these *change simulated results* when enabled: ``gqp_adaptive_ordering``
@@ -120,6 +128,9 @@ class EngineConfig:
 
     def use_fuse_charges(self) -> bool:
         return fuse_charges_default() if self.fuse_charges is None else self.fuse_charges
+
+    def use_columnar_pages(self) -> bool:
+        return columnar_pages_default() if self.columnar_pages is None else self.columnar_pages
 
     def use_gqp_adaptive_ordering(self) -> bool:
         if self.gqp_adaptive_ordering is None:

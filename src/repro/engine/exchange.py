@@ -165,7 +165,7 @@ class FifoExchange:
             if slot.is_primary:
                 yield from slot.queue.put(batch)
             else:
-                yield self.cost.copy(len(batch.rows), batch.weight)
+                yield self.cost.copy(len(batch), batch.weight)
                 yield self._overhead_charge
                 yield from slot.queue.put(batch.copy())
             if slot.budget == 0:

@@ -136,7 +136,7 @@ class Stage:
         yield CPU(cost.cache_probe, "misc")
         for batch in entry.batches:
             yield CPU(cost.cache_replay_page, "misc")
-            yield cost.read(len(batch.rows), batch.weight)
+            yield cost.read(len(batch), batch.weight)
             yield from exchange.emit(Batch(list(batch.rows), batch.weight))
         packet.mark_started()
         exchange.close()
@@ -163,7 +163,7 @@ class Stage:
                     break
                 if abandoned:
                     continue
-                nbytes += len(batch.rows) * batch.weight * row_bytes
+                nbytes += len(batch) * batch.weight * row_bytes
                 if not cache.fits_entry(nbytes):
                     abandoned = True
                     batches = []

@@ -8,15 +8,14 @@ from __future__ import annotations
 
 from typing import Any, Iterator
 
-import operator
-
 from repro.sim.commands import CPU, CPU_FUSED
 from repro.engine.exchange import END
 from repro.engine.packet import Packet
 from repro.engine.stage import Stage
 from repro.engine.stages.inputs import FilteredInput
+from repro.query.expr import column_indices, row_key_fn, value_column
 from repro.query.plan import AggregateNode, AggSpec
-from repro.storage.page import Batch
+from repro.storage.page import Batch, ColumnBatch
 
 
 class _Accumulator:
@@ -29,6 +28,73 @@ class _Accumulator:
         self.counts = [0] * n
         self.mins: list[Any] = [None] * n
         self.maxs: list[Any] = [None] * n
+
+
+def accumulate_columnar(
+    batch: ColumnBatch,
+    n: int,
+    w: float,
+    group_idx: tuple[int, ...],
+    specs,
+    value_fns,
+    schema,
+    groups: dict,
+) -> None:
+    """Late-materialized accumulation: gather group-key and value columns
+    once per batch, then fold -- no per-row tuples, no per-row closure
+    calls.  Accumulation order (batch order, per group) matches the
+    row-wise loop exactly, so every float result is bit-identical."""
+    col_of = batch.column
+    if len(group_idx) > 1:
+        keys = list(zip(*(col_of(i) for i in group_idx)))
+    elif group_idx:
+        keys = [(v,) for v in col_of(group_idx[0])]
+    else:
+        keys = None
+    nspecs = len(specs)
+    vcols: list = []
+    rows = None
+    for spec, fn in zip(specs, value_fns):
+        if spec.expr is None:
+            vcols.append(None)
+            continue
+        vc = value_column(spec.expr, schema, col_of, n)
+        if vc is None:
+            # No column form for this expression shape: fall back to the
+            # row closure over materialized rows (values are identical).
+            if rows is None:
+                rows = batch.rows
+            vc = [fn(r) for r in rows]
+        vcols.append(vc)
+    get_group = groups.get
+    if nspecs == 1 and keys is not None and specs[0].func in ("sum", "avg"):
+        # The workload's common shape: one weighted sum/avg per group.
+        vc = vcols[0]
+        for key, v in zip(keys, vc):
+            acc = get_group(key)
+            if acc is None:
+                acc = groups[key] = _Accumulator(1)
+            acc.sums[0] += v * w
+            acc.counts[0] += w
+        return
+    for p in range(n):
+        key = keys[p] if keys is not None else ()
+        acc = get_group(key)
+        if acc is None:
+            acc = groups[key] = _Accumulator(nspecs)
+        for i in range(nspecs):
+            spec = specs[i]
+            if spec.func == "count":
+                acc.counts[i] += w
+                continue
+            v = vcols[i][p]
+            if spec.func in ("sum", "avg"):
+                acc.sums[i] += v * w
+                acc.counts[i] += w
+            elif spec.func == "min":
+                acc.mins[i] = v if acc.mins[i] is None else min(acc.mins[i], v)
+            else:
+                acc.maxs[i] = v if acc.maxs[i] is None else max(acc.maxs[i], v)
 
 
 def _finalize(spec: AggSpec, acc: _Accumulator, i: int) -> Any:
@@ -58,7 +124,7 @@ class AggregateStage(Stage):
         yield CPU(cost.packet_dispatch, "misc")
 
         schema = child_input.schema
-        group_idx = schema.indices(node.group_by)
+        group_idx = column_indices(schema, node.group_by)
         value_fns = [a.expr.compile(schema) if a.expr is not None else None for a in node.aggregates]
         specs = node.aggregates
         nspecs = len(specs)
@@ -66,13 +132,7 @@ class AggregateStage(Stage):
         fuse = self.engine.config.use_fuse_charges()
         # Group-key extraction hoisted out of the per-row loop; keys stay
         # tuples (out_rows concatenates them) even for a single column.
-        if len(group_idx) > 1:
-            key_of = operator.itemgetter(*group_idx)
-        elif group_idx:
-            _gi = group_idx[0]
-            key_of = lambda r, _gi=_gi: (r[_gi],)  # noqa: E731
-        else:
-            key_of = lambda r: ()  # noqa: E731
+        key_of = row_key_fn(group_idx)
         get_group = groups.get
 
         while True:
@@ -85,12 +145,11 @@ class AggregateStage(Stage):
                 fc = None
             if batch is END:
                 break
-            rows = batch.rows
-            if not rows:
+            n, w = len(batch), batch.weight
+            if not n:
                 if fc is not None:
                     yield child_input.fuse_next_lock(fc)
                 continue
-            n, w = len(rows), batch.weight
             # Group-table hashing counts as aggregation work (the paper's
             # "Hashing" bucket covers hash-join hash()/equal() only).
             if fuse:
@@ -106,7 +165,12 @@ class AggregateStage(Stage):
             else:
                 yield CPU(cost.hash_func * n * w, "aggregation")
                 yield cost.aggregate(n, w, functions=nspecs)
-            for r in rows:
+            if isinstance(batch, ColumnBatch):
+                accumulate_columnar(
+                    batch, n, w, group_idx, specs, value_fns, schema, groups
+                )
+                continue
+            for r in batch.rows:
                 key = key_of(r)
                 acc = get_group(key)
                 if acc is None:

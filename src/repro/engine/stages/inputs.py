@@ -23,7 +23,7 @@ from repro.engine.exchange import END
 from repro.query.expr import And, Expr
 from repro.query.plan import PlanNode, SelectNode
 from repro.sim.commands import CPU_FUSED
-from repro.storage.page import Batch
+from repro.storage.page import Batch, ColumnBatch
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.costmodel import CostModel
@@ -67,16 +67,30 @@ class FilteredInput:
         if fuse and hasattr(reader, "defer_read_charge"):
             self._deferred_charge = reader.defer_read_charge()
             self._lock_prepay = reader.prepay_lock_charge()
+        # Column kernel: used when the incoming batch is a ColumnBatch
+        # (selection = shrinking the selection vector, no row rebuild).
+        # Predicate shapes without a column form fall back to the row
+        # kernel over the batch's materialized rows.
+        self._col_kernel = None
         if predicate is None:
             self._pred = None
             self._kernel = None
         elif batch:
             self._pred = None
             self._kernel = predicate.compile_batch(schema)
+            self._col_kernel = predicate.compile_cols(schema)
         else:
             pred = predicate.compile(schema)
             self._pred = pred
             self._kernel = lambda rows: [r for r in rows if pred(r)]
+
+    def _filter(self, batch) -> Any:
+        """Apply the fused predicate to one non-empty batch (pure Python --
+        the caller charges the cycles)."""
+        ck = self._col_kernel
+        if ck is not None and isinstance(batch, ColumnBatch):
+            return batch.take(ck(batch.column, len(batch)))
+        return Batch(self._kernel(batch.rows), batch.weight)
 
     def read(self) -> Iterator[Any]:
         """Next (filtered) batch, or END."""
@@ -84,9 +98,8 @@ class FilteredInput:
         if batch is END:
             return END
         rc = self._deferred_charge
-        n = len(batch.rows)
-        kernel = self._kernel
-        if kernel is None or n == 0:
+        n = len(batch)
+        if self._kernel is None or n == 0:
             if self.charge_read and n:
                 read_cmd = self.cost.read(n, batch.weight)
                 yield CPU_FUSED(rc, read_cmd) if rc is not None else read_cmd
@@ -106,7 +119,7 @@ class FilteredInput:
         else:
             pred_cmd = self.cost.predicate(n, batch.weight, max(self.terms, 1))
             yield CPU_FUSED(rc, pred_cmd) if rc is not None else pred_cmd
-        return Batch(kernel(batch.rows), batch.weight)
+        return self._filter(batch)
 
     def read_fused(self) -> Iterator[Any]:
         """Fast mode: like :meth:`read`, but hand the per-batch charge back
@@ -119,9 +132,8 @@ class FilteredInput:
         if batch is END:
             return END, None
         rc = self._deferred_charge
-        n = len(batch.rows)
-        kernel = self._kernel
-        if kernel is None or n == 0:
+        n = len(batch)
+        if self._kernel is None or n == 0:
             if self.charge_read and n:
                 read_cmd = self.cost.read(n, batch.weight)
                 return batch, (CPU_FUSED(rc, read_cmd) if rc is not None else read_cmd)
@@ -137,7 +149,7 @@ class FilteredInput:
         else:
             pred_cmd = self.cost.predicate(n, batch.weight, max(self.terms, 1))
             cmd = CPU_FUSED(rc, pred_cmd) if rc is not None else pred_cmd
-        return Batch(kernel(batch.rows), batch.weight), cmd
+        return self._filter(batch), cmd
 
     def fuse_next_lock(self, cmd):
         """Fast mode: fuse the *next* read's SPL lock charge as the last

@@ -19,7 +19,71 @@ from repro.engine.exchange import END
 from repro.engine.packet import Packet
 from repro.engine.stage import Stage
 from repro.engine.stages.inputs import FilteredInput
-from repro.storage.page import Batch
+from repro.storage.page import Batch, ColumnBatch
+
+
+def single_match_table(table: dict[Any, list[tuple]]) -> dict[Any, tuple] | None:
+    """When every build key maps to exactly one row (dimension tables keyed
+    by primary key -- the star-schema common case), flatten the hash table
+    to key -> row so probes run as C-level dict lookups.  Returns None when
+    any key has multiple matches (the general loop handles those)."""
+    if any(len(ms) != 1 for ms in table.values()):
+        return None
+    return {k: ms[0] for k, ms in table.items()}
+
+
+def probe_columnar(
+    batch: ColumnBatch,
+    probe_key: int,
+    get,
+    weight: float,
+    single: dict[Any, tuple] | None = None,
+) -> ColumnBatch:
+    """Late-materialized hash probe: extract the key column, match, and
+    emit a new selection vector over the *same* base columns plus a tail
+    of matched build rows -- no wide output tuples.  Match order (probe
+    order, then build-insertion order) equals the row-wise probe's, so
+    downstream results and charge counts are identical.
+
+    With a ``single`` match table the whole probe runs as one C-level
+    ``map(dict.get)`` pass over the key column plus ``is not None``
+    comprehensions (one hash lookup per key, no per-row Python
+    bytecode beyond the loops)."""
+    keys = batch.column(probe_key)
+    src = batch.sel
+    tails = batch.tail
+    if single is not None:
+        ms = list(map(single.get, keys))
+        if tails is None:
+            if src is None:
+                out_sel = [j for j, m in enumerate(ms) if m is not None]
+            else:
+                out_sel = [j for j, m in zip(src, ms) if m is not None]
+            out_tail = [m for m in ms if m is not None]
+        else:
+            out_sel = [j for j, m in zip(src, ms) if m is not None]
+            out_tail = [t + m for t, m in zip(tails, ms) if m is not None]
+        return ColumnBatch(batch.cols, out_sel, weight, out_tail)
+    out_sel = []
+    out_tail = []
+    add_sel = out_sel.append
+    add_tail = out_tail.append
+    if tails is None:
+        positions = range(len(keys)) if src is None else src
+        for j, k in zip(positions, keys):
+            ms = get(k)
+            if ms is not None:
+                for m in ms:
+                    add_sel(j)
+                    add_tail(m)
+    else:
+        for j, k, t in zip(src, keys, tails):
+            ms = get(k)
+            if ms is not None:
+                for m in ms:
+                    add_sel(j)
+                    add_tail(t + m)
+    return ColumnBatch(batch.cols, out_sel, weight, out_tail)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.query.plan import HashJoinNode
@@ -58,12 +122,14 @@ class HashJoinStage(Stage):
                 fc = None
             if batch is END:
                 break
-            rows = batch.rows
-            if not rows:
+            n, w = len(batch), batch.weight
+            if not n:
                 if fc is not None:
                     yield build_input.fuse_next_lock(fc)
                 continue
-            n, w = len(rows), batch.weight
+            # The build side materializes rows either way: they become the
+            # probe output's tail payloads (dims are small post-filter).
+            rows = batch.rows
             if fuse:
                 # Only pure computation follows until the next read, so the
                 # next read's lock charge rides at the tail of this command.
@@ -81,6 +147,7 @@ class HashJoinStage(Stage):
         # ---- probe phase --------------------------------------------
         probe_key = probe_input.schema.index(node.probe_key)
         get = table.get
+        single = single_match_table(table)
         empty: tuple = ()
         while True:
             if fuse:
@@ -90,21 +157,26 @@ class HashJoinStage(Stage):
                 fc = None
             if batch is END:
                 break
-            rows = batch.rows
-            if not rows:
+            n, w = len(batch), batch.weight
+            if not n:
                 if fc is not None:
                     yield probe_input.fuse_next_lock(fc)
                 continue
-            n, w = len(rows), batch.weight
-            out = [r + m for r in rows for m in get(r[probe_key], empty)]
-            cmds = [cost.hashing(n, w, equals=len(out)), cost.probe(n, w)]
-            if out:
-                cmds.append(cost.emit_join(len(out), w))
+            if isinstance(batch, ColumnBatch):
+                out = probe_columnar(batch, probe_key, get, w, single)
+            else:
+                out = Batch(
+                    [r + m for r in batch.rows for m in get(r[probe_key], empty)], w
+                )
+            nout = len(out)
+            cmds = [cost.hashing(n, w, equals=nout), cost.probe(n, w)]
+            if nout:
+                cmds.append(cost.emit_join(nout, w))
             if fuse:
                 if fc is not None:
                     cmds.insert(0, fc)
                 fused_cmd = CPU_FUSED(*cmds)
-                if not out:
+                if not nout:
                     # No emission before the next read, so its lock charge
                     # can ride at the tail (an emit in between would hold
                     # the input SPL's lock across the emit -- illegal).
@@ -113,11 +185,11 @@ class HashJoinStage(Stage):
             else:
                 for cmd in cmds:
                     yield cmd
-            if out:
+            if nout:
                 if not packet.started_emitting:
                     packet.mark_started()
                     self.unregister(packet)  # step WoP closes
-                yield from exchange.emit(Batch(out, w))
+                yield from exchange.emit(out)
 
         exchange.close()
         packet.finished = True

@@ -27,7 +27,8 @@ from repro.sim.commands import CPU, CPU_FUSED, SLEEP, CpuCommand
 from repro.sim.sync import Channel, Condition
 from repro.gqp.bitmap import SlotAllocator
 from repro.gqp.ordering import ChainOrderer
-from repro.storage.page import Batch
+from repro.query.expr import column_indices, row_key_fn
+from repro.storage.page import Batch, ColumnBatch
 from repro.storage.prefetch import PageSource
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -101,6 +102,7 @@ class _QueryState:
         "done",
         "agg_node",
         "agg_group_idx",
+        "agg_key_fn",
         "agg_value_fns",
         "agg_groups",
     )
@@ -120,6 +122,7 @@ class _QueryState:
         # None when the query's aggregation runs query-centric above the GQP.
         self.agg_node = None
         self.agg_group_idx: tuple[int, ...] = ()
+        self.agg_key_fn: Callable | None = None
         self.agg_value_fns: list[Callable | None] = []
         self.agg_groups: dict | None = None
 
@@ -187,6 +190,14 @@ class CJoinPipeline:
         #: of rebuilding both for every fact page; work items must treat
         #: them as read-only.
         self._chain_snapshot: tuple[list[Filter], dict[str, int]] | None = None
+        #: host-side memo of admission dim-scan selections, keyed by
+        #: (dim table, predicate) -- predicates compare structurally, and
+        #: random workloads draw them from small per-dimension vocabularies,
+        #: so repeat admissions skip the predicate pass.  Every simulated
+        #: charge (page reads, scan and predicate cycles) is still paid per
+        #: admission; only the Python list comprehension is reused.  Entries
+        #: are read-only downstream (_apply_admission never mutates them).
+        self._dim_sel_cache: dict[tuple, list] = {}
         self.active: dict[int, _QueryState] = {}
         self.pending: list["Packet"] = []
         self.slots = SlotAllocator()
@@ -303,7 +314,7 @@ class CJoinPipeline:
                     sim, self.storage, self.fact, 0, name=f"cjoin.{self.fact.name}"
                 )
             page = yield from self._source.next()
-            yield cost.preprocess(len(page.rows), page.weight)
+            yield cost.preprocess(len(page), page.weight)
             orderer = self.orderer
             if orderer is not None and not self._vertical and orderer.tick_page():
                 # Horizontal logical tick: every ``gqp_reorder_interval``
@@ -323,7 +334,7 @@ class CJoinPipeline:
                 addressed.append(state)
             filters, filter_pos = self._filter_chain()
             item = _WorkItem(
-                batch=page.to_batch(),
+                batch=page.to_batch(self.engine.config.use_columnar_pages()),
                 mask=mask,
                 addressed=addressed,
                 filters=filters,
@@ -406,30 +417,66 @@ class CJoinPipeline:
         dim = self.storage.table(dimspec.dim_table)
         kernel = None
         terms = 0
+        cached = None
+        cache_key = None
         if dimspec.predicate is not None:
             terms = dimspec.predicate.terms
-            if self.engine.config.use_batch_kernels():
-                kernel = dimspec.predicate.compile_batch(dim.schema)
-            else:
-                pred = dimspec.predicate.compile(dim.schema)
-                kernel = lambda rows, _p=pred: [r for r in rows if _p(r)]  # noqa: E731
+            cache_key = (dimspec.dim_table, dimspec.predicate)
+            cached = self._dim_sel_cache.get(cache_key)
+            if cached is None:
+                if self.engine.config.use_batch_kernels():
+                    kernel = dimspec.predicate.compile_batch(dim.schema)
+                else:
+                    pred = dimspec.predicate.compile(dim.schema)
+                    kernel = lambda rows, _p=pred: [r for r in rows if _p(r)]  # noqa: E731
         fuse = self.engine.config.use_fuse_charges()
+        # Fuse mode: prepay the next page's buffer-pool latch charge at the
+        # tail of this page's scan/predicate command -- only pure compute
+        # happens in between, so the charge instants are unchanged and one
+        # simulator event per page disappears (admission scans every dim
+        # page per admitted query, the hottest page loop in CJOIN).
+        prepay = self.storage.latch_prepay_charge() if fuse else None
+        fused_cmds: dict[int, Any] = {}
+        last = dim.num_pages - 1
+        prepaid = False
         selected: list[tuple] = []
         for page_index in range(dim.num_pages):
-            page = yield from self.storage.read_page(dim, page_index)
+            page = yield from self.storage.read_page(dim, page_index, latch_prepaid=prepaid)
             rows = page.rows
-            if kernel is not None:
-                scan_cmd = cost.scan(len(rows), page.weight)
-                pred_cmd = cost.predicate(len(rows), page.weight, max(terms, 1))
+            n = len(rows)
+            if dimspec.predicate is not None:
+                scan_cmd = cost.scan(n, page.weight)
+                pred_cmd = cost.predicate(n, page.weight, max(terms, 1))
                 if fuse:
-                    yield CPU_FUSED(scan_cmd, pred_cmd)
+                    if prepay is not None and page_index < last:
+                        cmd = fused_cmds.get(n)
+                        if cmd is None:
+                            cmd = fused_cmds[n] = CPU_FUSED(scan_cmd, pred_cmd, prepay)
+                        prepaid = True
+                    else:
+                        cmd = CPU_FUSED(scan_cmd, pred_cmd)
+                        prepaid = False
+                    yield cmd
                 else:
                     yield scan_cmd
                     yield pred_cmd
-                selected.extend(kernel(rows))
+                if kernel is not None:
+                    selected.extend(kernel(rows))
             else:
-                yield cost.scan(len(rows), page.weight)
+                if prepay is not None and page_index < last:
+                    cmd = fused_cmds.get(n)
+                    if cmd is None:
+                        cmd = fused_cmds[n] = CPU_FUSED(cost.scan(n, page.weight), prepay)
+                    prepaid = True
+                else:
+                    cmd = cost.scan(n, page.weight)
+                    prepaid = False
+                yield cmd
                 selected.extend(rows)
+        if cached is not None:
+            return cached
+        if cache_key is not None:
+            self._dim_sel_cache[cache_key] = selected
         return selected
 
     def _apply_admission(self, packet: "Packet", plans: list[tuple[Any, list[tuple]]]) -> Iterator[Any]:
@@ -437,6 +484,7 @@ class CJoinPipeline:
         filters with its selected dimension tuples, and register its point
         of entry on the circular fact scan."""
         cost = self.cost
+        fuse = self.engine.config.use_fuse_charges()
         node, agg_node = self._split_node(packet)
         slot = self.slots.alloc()
         bit = 1 << slot
@@ -447,20 +495,44 @@ class CJoinPipeline:
             ht = flt.ht
             inserts = 0
             annotations = 0
-            for r in selected:
-                key = r[key_idx]
-                entry = ht.get(key)
-                if entry is None:
-                    ht[key] = _Entry(r, bit)
-                    inserts += 1
-                else:
-                    entry.bitmap |= bit
-                    annotations += 1
+            keys = [r[key_idx] for r in selected]
+            if len(set(keys)) == len(keys):
+                # Unique keys (dimensions keyed by primary key -- the
+                # common case): probe the hash table in one C-level map
+                # pass, then branch only on the precomputed entries.
+                entries = list(map(ht.get, keys))
+                inserts = entries.count(None)
+                annotations = len(keys) - inserts
+                for key, r, entry in zip(keys, selected, entries):
+                    if entry is None:
+                        ht[key] = _Entry(r, bit)
+                    else:
+                        entry.bitmap |= bit
+            else:
+                for key, r in zip(keys, selected):
+                    entry = ht.get(key)
+                    if entry is None:
+                        ht[key] = _Entry(r, bit)
+                        inserts += 1
+                    else:
+                        entry.bitmap |= bit
+                        annotations += 1
+            cmds: list[CpuCommand] = []
             if inserts:
-                yield cost.hashing(inserts, flt.weight)
-                yield cost.build(inserts, flt.weight)
+                cmds.append(cost.hashing(inserts, flt.weight))
+                cmds.append(cost.build(inserts, flt.weight))
             if annotations:
-                yield CPU(cost.admission_bitmap * annotations * flt.weight, "joins")
+                cmds.append(
+                    CPU(cost.admission_bitmap * annotations * flt.weight, "joins")
+                )
+            if cmds:
+                # Pure bookkeeping between the charges (pipeline paused):
+                # fuse them into one event per extended filter.
+                if fuse and len(cmds) > 1:
+                    yield CPU_FUSED(*cmds)
+                else:
+                    for cmd in cmds:
+                        yield cmd
         for name, flt in self.filters.items():
             if name in referenced:
                 flt.referencing.add(slot)
@@ -475,6 +547,7 @@ class CJoinPipeline:
             schema = node.schema  # the projected (payload) schema
             state.agg_node = agg_node
             state.agg_group_idx = schema.indices(agg_node.group_by)
+            state.agg_key_fn = row_key_fn(state.agg_group_idx)
             state.agg_value_fns = [
                 a.expr.compile(schema) if a.expr is not None else None
                 for a in agg_node.aggregates
@@ -612,8 +685,14 @@ class CJoinPipeline:
             self.sim.metrics.bump("cjoin_filters_skipped")
             return
         cost = self.cost
-        w = item.batch.weight
-        entries = list(map(flt.ht.get, map(flt.fk_get, rows)))  # hoisted FK column probe
+        batch = item.batch
+        w = batch.weight
+        if type(batch) is ColumnBatch and n == len(batch):
+            # First filter of a columnar page: the FK keys come straight
+            # off the page's column vector -- no per-row tuple access.
+            entries = list(map(flt.ht.get, batch.column(flt.fact_fk_idx)))
+        else:
+            entries = list(map(flt.ht.get, map(flt.fk_get, rows)))  # hoisted FK probe
         new_rows: list[tuple] = []
         new_bms: list[int] = []
         new_dims: list[tuple] = []
@@ -642,38 +721,59 @@ class CJoinPipeline:
         item.rows, item.bms, item.dims = new_rows, new_bms, new_dims
         item.live = live
 
-    def _apply_chain_kernel(self, item: _WorkItem) -> Iterator[Any]:
+    def _apply_chain_kernel(
+        self, item: _WorkItem, prefix: CpuCommand | None = None
+    ) -> Iterator[Any]:
         """Drive the whole chain through the columnar kernels, fusing the
         bitmap-AND charge groups of consecutive filters into one simulator
         event (charge values and their order match the per-filter path;
-        only skipped filters' charges are elided)."""
-        cmds: list[CpuCommand] = []
+        only skipped filters' charges are elided).  ``prefix`` (fuse mode
+        only) is the caller's page-sync charge, riding at the head of the
+        fused command -- its charge instant is unchanged and one more
+        simulator event per page disappears."""
+        cmds: list[CpuCommand] = [] if prefix is None else [prefix]
+        base = len(cmds)
         for flt in item.filters:
             if not item.rows:
                 break
             self._filter_kernel(item, flt, cmds)
-        if cmds:
+        if len(cmds) > base:
             if self.engine.config.use_fuse_charges():
                 yield CPU_FUSED(*cmds)
             else:
                 for cmd in cmds:
                     yield cmd
+        elif prefix is not None:
+            yield prefix
 
     def _filter_worker(self) -> Iterator[Any]:
         """Horizontal configuration: each worker carries a page through the
         whole filter chain."""
         cost = self.cost
+        # The per-page sync charge is immutable -- build it once.  In fuse
+        # mode (with the chain kernels and no adaptive orderer, whose EWMA
+        # folds are order-sensitive across workers) it rides at the head of
+        # the chain's fused command instead of being its own event.
+        sync = CPU(cost.filter_sync_page, "locks")
         while True:
             item = yield from self._page_chan.get()
             if item is Channel.CLOSED:  # pragma: no cover - pipeline never closes
                 return
-            yield CPU(cost.filter_sync_page, "locks")
-            rows = list(item.batch.rows)
+            fuse_sync = (
+                self.filter_kernels
+                and self.orderer is None
+                and self.engine.config.use_fuse_charges()
+            )
+            if not fuse_sync:
+                yield sync
+            rows = item.batch.rows
             item.rows = rows
             item.bms = [item.mask] * len(rows)
             item.dims = [()] * len(rows)
             if self.filter_kernels:
-                yield from self._apply_chain_kernel(item)
+                yield from self._apply_chain_kernel(
+                    item, prefix=sync if fuse_sync else None
+                )
             else:
                 for flt in item.filters:
                     if not item.rows:
@@ -687,26 +787,37 @@ class CJoinPipeline:
         channels, paying the hand-off synchronization at every stage."""
         cost = self.cost
         in_chan = self._page_chan if position == 0 else self._vchans[position]
+        sync = CPU(cost.filter_sync_page, "locks")
         while True:
             item = yield from in_chan.get()
             if item is Channel.CLOSED:  # pragma: no cover
                 return
-            yield CPU(cost.filter_sync_page, "locks")
+            use_kernel = self.filter_kernels and position < len(item.filters)
+            fuse_sync = (
+                use_kernel
+                and self.orderer is None
+                and self.engine.config.use_fuse_charges()
+            )
+            if not fuse_sync:
+                yield sync
             if position == 0:
-                rows = list(item.batch.rows)
+                rows = item.batch.rows
                 item.rows = rows
                 item.bms = [item.mask] * len(rows)
                 item.dims = [()] * len(rows)
             if position < len(item.filters):
-                if self.filter_kernels:
-                    cmds: list[CpuCommand] = []
+                if use_kernel:
+                    cmds: list[CpuCommand] = [sync] if fuse_sync else []
+                    base = len(cmds)
                     self._filter_kernel(item, item.filters[position], cmds)
-                    if cmds:
+                    if len(cmds) > base:
                         if self.engine.config.use_fuse_charges():
                             yield CPU_FUSED(*cmds)
                         else:
                             for cmd in cmds:
                                 yield cmd
+                    elif fuse_sync:
+                        yield sync
                 else:
                     yield from self._apply_one_filter(item, item.filters[position])
             if position + 1 < len(item.filters):
@@ -800,10 +911,10 @@ class CJoinPipeline:
         specs = state.agg_node.aggregates
         nspecs = len(specs)
         groups = state.agg_groups
-        group_idx = state.agg_group_idx
+        key_of = state.agg_key_fn or row_key_fn(state.agg_group_idx)
         fns = state.agg_value_fns
         for r in rows:
-            key = tuple(r[i] for i in group_idx)
+            key = key_of(r)
             acc = groups.get(key)
             if acc is None:
                 acc = groups[key] = _Accumulator(nspecs)
@@ -857,11 +968,11 @@ class CJoinPipeline:
         return node, None
 
     def _make_projector(self, node: "CJoinNode") -> Callable:
-        fact_idx = [self.fact.schema.index(c) for c in node.fact_payload]
-        dim_proj: list[tuple[str, list[int]]] = []
+        fact_idx = column_indices(self.fact.schema, node.fact_payload)
+        dim_proj: list[tuple[str, tuple[int, ...]]] = []
         for d in node.dims:
             dim_schema = self.storage.table(d.dim_table).schema
-            dim_proj.append((d.dim_table, [dim_schema.index(c) for c in d.payload]))
+            dim_proj.append((d.dim_table, column_indices(dim_schema, d.payload)))
 
         def project(fact_row: tuple, dims: tuple, filter_pos: dict[str, int]) -> tuple:
             out = [fact_row[i] for i in fact_idx]

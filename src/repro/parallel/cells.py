@@ -55,6 +55,7 @@ from repro.bench.workload import (
 from repro.engine.config import (
     EngineConfig,
     batch_kernels_default,
+    columnar_pages_default,
     fast_path,
     fuse_charges_default,
     gqp_adaptive_ordering_default,
@@ -75,10 +76,11 @@ __all__ = [
 ]
 
 
-def current_fast_flags() -> tuple[bool, bool]:
-    """The parent's (batch_kernels, fuse_charges) defaults, captured into
-    each spec so workers replay the parent's host-execution mode."""
-    return (batch_kernels_default(), fuse_charges_default())
+def current_fast_flags() -> tuple[bool, bool, bool]:
+    """The parent's (batch_kernels, fuse_charges, columnar_pages) defaults,
+    captured into each spec so workers replay the parent's host-execution
+    mode -- including a ``REPRO_COLUMNAR=0`` row-mode parent."""
+    return (batch_kernels_default(), fuse_charges_default(), columnar_pages_default())
 
 
 def current_gqp_flags() -> tuple[bool, bool]:
@@ -187,9 +189,9 @@ class CellSpec:
     mode: str = "batch"
     n_clients: int = 0
     duration: float = 0.0
-    #: (batch_kernels, fuse_charges) captured in the parent at enumeration
-    #: time; workers re-apply them around the run.
-    fast_flags: tuple[bool, bool] = field(default_factory=current_fast_flags)
+    #: (batch_kernels, fuse_charges, columnar_pages) captured in the parent
+    #: at enumeration time; workers re-apply them around the run.
+    fast_flags: tuple[bool, bool, bool] = field(default_factory=current_fast_flags)
     #: (adaptive_ordering, filter_kernels) likewise -- engine configs with
     #: the GQP knobs at ``None`` resolve against these inside the worker.
     gqp_flags: tuple[bool, bool] = field(default_factory=current_gqp_flags)

@@ -24,7 +24,24 @@ same way vectorized engines amortize per-tuple interpretation over blocks.
 Every other shape falls back to wrapping the row closure, so the kernel is
 *always* semantically identical to filtering with ``compile``: it selects
 exactly the same rows in the same order (tests/query/test_batch_kernels.py
-holds every shape to that)."""
+holds every shape to that).
+
+Column kernels
+--------------
+``compile_cols(schema)`` is the columnar-page counterpart: it returns a
+kernel ``(col_of, n, sel=None) -> passing positions`` that evaluates the
+predicate directly over column vectors -- ``col_of(i)`` yields logical
+column ``i`` of a batch, ``sel`` restricts evaluation to a previous pass's
+survivors (conjunctions cascade selection vectors instead of rebuilding
+rows).  The pass positions equal the positions row-wise evaluation would
+keep, in the same order (the property suite in ``tests/storage`` holds
+arbitrary schemas/predicates to that).  Shapes without a column form
+return ``None`` and the caller falls back to the row kernel.
+
+The module also hosts the shared schema->column-index helpers
+(:func:`column_indices`, :func:`row_key_fn`, :func:`value_column`) that
+the aggregation stage, the CJOIN distributor and the consumer-side inputs
+previously each rebuilt by hand."""
 
 from __future__ import annotations
 
@@ -70,6 +87,83 @@ _BATCH_CMP_IDX: dict[str, Callable[[int, Any], Callable]] = {
     ">": lambda i, v: lambda rows: [j for j, r in enumerate(rows) if r[i] > v],
 }
 
+# Column-kernel factories: evaluate over a column vector and return pass
+# positions.  One pair per operator -- a full-column scan (enumerate) and a
+# selection-vector refinement (indexing into the column).
+_COL_CMP_FULL: dict[str, Callable[[Any], Callable]] = {
+    "<": lambda v: lambda c: [j for j, x in enumerate(c) if x < v],
+    "<=": lambda v: lambda c: [j for j, x in enumerate(c) if x <= v],
+    "=": lambda v: lambda c: [j for j, x in enumerate(c) if x == v],
+    "!=": lambda v: lambda c: [j for j, x in enumerate(c) if x != v],
+    ">=": lambda v: lambda c: [j for j, x in enumerate(c) if x >= v],
+    ">": lambda v: lambda c: [j for j, x in enumerate(c) if x > v],
+}
+
+_COL_CMP_SEL: dict[str, Callable[[Any], Callable]] = {
+    "<": lambda v: lambda c, sel: [j for j in sel if c[j] < v],
+    "<=": lambda v: lambda c, sel: [j for j in sel if c[j] <= v],
+    "=": lambda v: lambda c, sel: [j for j in sel if c[j] == v],
+    "!=": lambda v: lambda c, sel: [j for j in sel if c[j] != v],
+    ">=": lambda v: lambda c, sel: [j for j in sel if c[j] >= v],
+    ">": lambda v: lambda c, sel: [j for j in sel if c[j] > v],
+}
+
+
+def _col_kernel(i: int, full: Callable, refine: Callable) -> Callable:
+    """Assemble a column kernel from a full-scan and a refinement pass."""
+
+    def kernel(col_of: Callable, n: int, sel=None) -> list:
+        c = col_of(i)
+        return full(c) if sel is None else refine(c, sel)
+
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# Shared schema->column-index resolution (one home for the itemgetter
+# construction the stages used to repeat).
+# ----------------------------------------------------------------------
+def column_indices(schema: "Schema", names: Sequence[str]) -> tuple[int, ...]:
+    """Tuple positions of ``names`` in ``schema`` (in the given order)."""
+    return tuple(schema.index(n) for n in names)
+
+
+def row_key_fn(indices: Sequence[int]) -> Callable[[tuple], tuple]:
+    """A ``row -> key tuple`` extractor for the given column positions.
+
+    Keys are always tuples -- including the one-column case (callers
+    concatenate them into output rows) and the empty grouping (a single
+    global group) -- and multi-column extraction is a single C-level
+    ``itemgetter`` call."""
+    if len(indices) > 1:
+        return operator.itemgetter(*indices)
+    if indices:
+        i = indices[0]
+        return lambda r, _i=i: (r[_i],)
+    return lambda r: ()
+
+
+def value_column(expr: "Expr", schema: "Schema", column_of: Callable, n: int):
+    """Evaluate ``expr`` as one column vector over a columnar batch.
+
+    ``column_of(i)`` yields logical column ``i`` (position-aligned).
+    Returns ``None`` when the shape has no column form (caller falls back
+    to row-wise evaluation); otherwise the result equals
+    ``[expr.compile(schema)(r) for r in rows]`` element for element."""
+    if isinstance(expr, Col):
+        return column_of(schema.index(expr.name))
+    if isinstance(expr, Const):
+        return [expr.value] * n
+    if isinstance(expr, Arith):
+        lhs = value_column(expr.left, schema, column_of, n)
+        if lhs is None:
+            return None
+        rhs = value_column(expr.right, schema, column_of, n)
+        if rhs is None:
+            return None
+        return list(map(_ARITH_OPS[expr.op], lhs, rhs))
+    return None
+
 
 class Expr:
     """Base class for scalar expressions."""
@@ -90,6 +184,12 @@ class Expr:
         if indices:
             return lambda rows: [i for i, r in enumerate(rows) if pred(r)]
         return lambda rows: [r for r in rows if pred(r)]
+
+    def compile_cols(self, schema: "Schema") -> Callable | None:
+        """Column selection kernel (see module docstring), or ``None`` when
+        this shape has no column form and the caller must fall back to the
+        row kernel."""
+        return None
 
     @property
     def signature(self) -> tuple:
@@ -188,6 +288,16 @@ class Cmp(Expr):
             return factory(schema.index(self.left.name), self.right.value)
         return super().compile_batch(schema, indices)
 
+    def compile_cols(self, schema: "Schema") -> Callable | None:
+        if isinstance(self.left, Col) and isinstance(self.right, Const):
+            v = self.right.value
+            return _col_kernel(
+                schema.index(self.left.name),
+                _COL_CMP_FULL[self.op](v),
+                _COL_CMP_SEL[self.op](v),
+            )
+        return None
+
     @property
     def signature(self) -> tuple:
         return ("cmp", self.op, self.left.signature, self.right.signature)
@@ -219,6 +329,14 @@ class Between(Expr):
         if indices:
             return lambda rows: [j for j, r in enumerate(rows) if lo <= r[i] <= hi]
         return lambda rows: [r for r in rows if lo <= r[i] <= hi]
+
+    def compile_cols(self, schema: "Schema") -> Callable | None:
+        lo, hi = self.lo, self.hi
+        return _col_kernel(
+            schema.index(self.col),
+            lambda c: [j for j, x in enumerate(c) if lo <= x <= hi],
+            lambda c, sel: [j for j in sel if lo <= c[j] <= hi],
+        )
 
     @property
     def signature(self) -> tuple:
@@ -257,6 +375,14 @@ class InSet(Expr):
         if indices:
             return lambda rows: [j for j, r in enumerate(rows) if r[i] in vals]
         return lambda rows: [r for r in rows if r[i] in vals]
+
+    def compile_cols(self, schema: "Schema") -> Callable | None:
+        vals = frozenset(self.values)
+        return _col_kernel(
+            schema.index(self.col),
+            lambda c: [j for j, x in enumerate(c) if x in vals],
+            lambda c, sel: [j for j in sel if c[j] in vals],
+        )
 
     @property
     def signature(self) -> tuple:
@@ -318,6 +444,24 @@ class And(Expr):
             return sel
 
         return filter_indices
+
+    def compile_cols(self, schema: "Schema") -> Callable | None:
+        """Conjunction column kernel: each part refines the previous pass's
+        selection vector (same survivors, same order as row-wise)."""
+        kernels = [p.compile_cols(schema) for p in self.parts]
+        if any(k is None for k in kernels):
+            return None
+        if len(kernels) == 1:
+            return kernels[0]
+
+        def kernel(col_of: Callable, n: int, sel=None) -> list:
+            for k in kernels:
+                sel = k(col_of, n, sel)
+                if not sel:
+                    return sel
+            return sel
+
+        return kernel
 
     @property
     def signature(self) -> tuple:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import zlib
 
+from repro.sim.fastpath import columnar_pages_default
 from repro.storage.table import Table
 
 __all__ = ["PARTITION_MODES", "assign_shards", "partition_table", "shard_tables"]
@@ -47,10 +48,59 @@ def assign_shards(n_rows: int, n_shards: int, mode: str = "hash", salt: int = 0)
     raise ValueError(f"unknown partition mode {mode!r} (choose from: {', '.join(PARTITION_MODES)})")
 
 
-def partition_table(table: Table, n_shards: int, mode: str = "hash", salt: int = 0) -> list[Table]:
+def partition_table(
+    table: Table,
+    n_shards: int,
+    mode: str = "hash",
+    salt: int = 0,
+    columnar: bool | None = None,
+) -> list[Table]:
     """Split ``table`` into ``n_shards`` tables (same name, schema, row
     weight and page granularity; possibly empty -- a shard with no fact
-    rows is legal and handled by the worker)."""
+    rows is legal and handled by the worker).
+
+    With the columnar plane on (the default), shards are built column-wise
+    from the parent table's cached column vectors and row tuples are never
+    materialized: ``range`` mode *slices* each vector (one C-level copy of
+    the references per column per shard -- the page-range path), ``hash``
+    mode *gathers* through a per-shard index list.  Both feed
+    :meth:`Table.from_columns`, whose pages carry the same row counts,
+    weights and byte accounting as the row constructor's, so simulated
+    results are identical to the row path (the shard fingerprint test in
+    ``tests/shard`` holds both layouts to one snapshot)."""
+    if columnar is None:
+        columnar = columnar_pages_default()
+    if columnar:
+        cols = table.columns()
+        n = table.num_rows
+        builds: list[tuple] = []
+        if mode == "range":
+            block = -(-n // n_shards) if n else 1
+            for k in range(n_shards):
+                start = min(k * block, n)
+                end = n if k == n_shards - 1 else min((k + 1) * block, n)
+                builds.append(tuple(col[start:end] for col in cols))
+        elif mode == "hash":
+            assignment = assign_shards(n, n_shards, mode, salt)
+            index: list[list[int]] = [[] for _ in range(n_shards)]
+            for i, shard in enumerate(assignment):
+                index[shard].append(i)
+            for idx in index:
+                builds.append(tuple(list(map(col.__getitem__, idx)) for col in cols))
+        else:
+            raise ValueError(
+                f"unknown partition mode {mode!r} (choose from: {', '.join(PARTITION_MODES)})"
+            )
+        return [
+            Table.from_columns(
+                table.name,
+                table.schema,
+                shard_cols,
+                row_weight=table.row_weight,
+                tuples_per_page=table.tuples_per_page,
+            )
+            for shard_cols in builds
+        ]
     assignment = assign_shards(table.num_rows, n_shards, mode, salt)
     buckets: list[list[tuple]] = [[] for _ in range(n_shards)]
     for row, shard in zip(table.iter_rows(), assignment):
@@ -74,13 +124,19 @@ def shard_tables(
     n_shards: int,
     mode: str = "hash",
     salt: int = 0,
+    columnar: bool | None = None,
 ) -> dict[str, Table]:
     """One shard's view of the database: its fact partition plus every
-    dimension replicated (shared by reference -- tables are immutable)."""
+    dimension replicated (shared by reference -- tables are immutable).
+    ``columnar`` picks the partition build (see :func:`partition_table`);
+    the shard worker passes its shipped flag so the layout follows the
+    *parent's* mode, not the worker process's import-time default."""
     if fact_table not in tables:
         raise ValueError(f"unknown fact table {fact_table!r}")
     if not 0 <= shard_id < n_shards:
         raise ValueError(f"shard_id {shard_id} out of range for {n_shards} shards")
     out = dict(tables)
-    out[fact_table] = partition_table(tables[fact_table], n_shards, mode, salt)[shard_id]
+    out[fact_table] = partition_table(
+        tables[fact_table], n_shards, mode, salt, columnar=columnar
+    )[shard_id]
     return out

@@ -118,7 +118,14 @@ class ShardService:
         # Fork-COW prewarm (same trick as the sweep fabric): generate the
         # dataset in the parent before spawning so every worker inherits
         # the memoized tables copy-on-write instead of regenerating them.
-        config.dataset.generate()
+        # With the columnar plane on, also materialize the fact table's
+        # column vectors: the workers' zero-copy partition slices/gathers
+        # (repro.shard.partition) then read shared pages instead of each
+        # re-deriving columns from row tuples.
+        ds = config.dataset.generate()
+        if config.fast_flags[2]:
+            for table in ds.tables.values():
+                table.warm_columns()
         self.workers = [
             WorkerHandle(shard_worker_main, args=(i, config), name=f"shard-{i}")
             for i in range(config.n_shards)

@@ -79,6 +79,7 @@ def shard_worker_main(conn: Any, shard_id: int, config: ShardConfig) -> None:
         config.n_shards,
         config.partition,
         config.partition_salt,
+        columnar=config.fast_flags[2],
     )
     fact_rows = tables[config.fact_table].num_rows
     flags = config.fast_flags

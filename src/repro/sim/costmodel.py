@@ -100,57 +100,140 @@ class CostModel:
     # ---- baseline ("mature system") scaling ----------------------------
     volcano_cpu_factor: float = 0.55  # Postgres stand-in: cheaper per-tuple code
 
+    def __post_init__(self) -> None:
+        # Memo table for the command builders below.  Hot loops rebuild the
+        # same charge (same n / weight) hundreds of thousands of times per
+        # run; CpuCommand is immutable by contract, so handing back the
+        # cached instance is safe and the cycles float -- computed once by
+        # the exact same expression -- is bit-identical.
+        object.__setattr__(self, "_memo", {})
+
     # ------------------------------------------------------------------
     # Convenience CpuCommand builders.  ``n`` is a count of *generated*
     # tuples, ``weight`` the table's real-rows-per-generated-row factor.
     # ------------------------------------------------------------------
     def scan(self, n: float, weight: float) -> CpuCommand:
-        return CPU(self.scan_tuple * n * weight, "scans")
+        memo = self._memo
+        key = ("scan", n, weight)
+        cmd = memo.get(key)
+        if cmd is None:
+            cmd = memo[key] = CPU(self.scan_tuple * n * weight, "scans")
+        return cmd
 
     def predicate(self, n: float, weight: float, terms: int = 1) -> CpuCommand:
-        return CPU(self.pred_term * terms * n * weight, "scans")
+        memo = self._memo
+        key = ("pred", n, weight, terms)
+        cmd = memo.get(key)
+        if cmd is None:
+            cmd = memo[key] = CPU(self.pred_term * terms * n * weight, "scans")
+        return cmd
 
     def read(self, n: float, weight: float) -> CpuCommand:
-        return CPU(self.read_tuple * n * weight, "misc")
+        memo = self._memo
+        key = ("read", n, weight)
+        cmd = memo.get(key)
+        if cmd is None:
+            cmd = memo[key] = CPU(self.read_tuple * n * weight, "misc")
+        return cmd
 
     def hashing(self, n: float, weight: float, equals: float = 0.0) -> CpuCommand:
-        return CPU((self.hash_func * n + self.hash_equal * equals) * weight, "hashing")
+        memo = self._memo
+        key = ("hash", n, weight, equals)
+        cmd = memo.get(key)
+        if cmd is None:
+            cmd = memo[key] = CPU(
+                (self.hash_func * n + self.hash_equal * equals) * weight, "hashing"
+            )
+        return cmd
 
     def build(self, n: float, weight: float) -> CpuCommand:
-        return CPU(self.build_insert * n * weight, "joins")
+        memo = self._memo
+        key = ("build", n, weight)
+        cmd = memo.get(key)
+        if cmd is None:
+            cmd = memo[key] = CPU(self.build_insert * n * weight, "joins")
+        return cmd
 
     def probe(self, n: float, weight: float, shared: bool = False) -> CpuCommand:
-        per = self.probe_visit + (self.shared_probe_extra if shared else 0.0)
-        return CPU(per * n * weight, "joins")
+        memo = self._memo
+        key = ("probe", n, weight, shared)
+        cmd = memo.get(key)
+        if cmd is None:
+            per = self.probe_visit + (self.shared_probe_extra if shared else 0.0)
+            cmd = memo[key] = CPU(per * n * weight, "joins")
+        return cmd
 
     def emit_join(self, n: float, weight: float) -> CpuCommand:
-        return CPU(self.join_emit * n * weight, "joins")
+        memo = self._memo
+        key = ("emit", n, weight)
+        cmd = memo.get(key)
+        if cmd is None:
+            cmd = memo[key] = CPU(self.join_emit * n * weight, "joins")
+        return cmd
 
     def aggregate(self, n: float, weight: float, functions: int = 1) -> CpuCommand:
-        return CPU((self.agg_update + self.agg_per_function * functions) * n * weight, "aggregation")
+        memo = self._memo
+        key = ("agg", n, weight, functions)
+        cmd = memo.get(key)
+        if cmd is None:
+            cmd = memo[key] = CPU(
+                (self.agg_update + self.agg_per_function * functions) * n * weight,
+                "aggregation",
+            )
+        return cmd
 
     def sort(self, n: float, weight: float) -> CpuCommand:
         """n log2 n comparison work for sorting ``n`` tuples."""
         import math
 
-        work = n * max(math.log2(n), 1.0) * self.sort_per_item_log * weight
-        return CPU(work, "aggregation")
+        memo = self._memo
+        key = ("sort", n, weight)
+        cmd = memo.get(key)
+        if cmd is None:
+            work = n * max(math.log2(n), 1.0) * self.sort_per_item_log * weight
+            cmd = memo[key] = CPU(work, "aggregation")
+        return cmd
 
     def copy(self, n: float, weight: float) -> CpuCommand:
-        return CPU(self.copy_tuple * n * weight, "misc")
+        memo = self._memo
+        key = ("copy", n, weight)
+        cmd = memo.get(key)
+        if cmd is None:
+            cmd = memo[key] = CPU(self.copy_tuple * n * weight, "misc")
+        return cmd
 
     def bitmap_and(self, n: float, weight: float, nqueries: int) -> CpuCommand:
-        words = max(1, (nqueries + 63) // 64)
-        return CPU(self.bitmap_word * words * n * weight, "joins")
+        memo = self._memo
+        key = ("band", n, weight, nqueries)
+        cmd = memo.get(key)
+        if cmd is None:
+            words = max(1, (nqueries + 63) // 64)
+            cmd = memo[key] = CPU(self.bitmap_word * words * n * weight, "joins")
+        return cmd
 
     def distribute(self, tuple_query_pairs: float, weight: float) -> CpuCommand:
-        return CPU(self.distribute_tuple * tuple_query_pairs * weight, "misc")
+        memo = self._memo
+        key = ("dist", tuple_query_pairs, weight)
+        cmd = memo.get(key)
+        if cmd is None:
+            cmd = memo[key] = CPU(self.distribute_tuple * tuple_query_pairs * weight, "misc")
+        return cmd
 
     def preprocess(self, n: float, weight: float) -> CpuCommand:
-        return CPU(self.preprocessor_tuple * n * weight, "scans")
+        memo = self._memo
+        key = ("prep", n, weight)
+        cmd = memo.get(key)
+        if cmd is None:
+            cmd = memo[key] = CPU(self.preprocessor_tuple * n * weight, "scans")
+        return cmd
 
     def reorder(self, n_filters: float) -> CpuCommand:
-        return CPU(self.reorder_per_filter * n_filters, "misc")
+        memo = self._memo
+        key = ("reord", n_filters)
+        cmd = memo.get(key)
+        if cmd is None:
+            cmd = memo[key] = CPU(self.reorder_per_filter * n_filters, "misc")
+        return cmd
 
 
 #: Default calibration used throughout tests and benchmarks.

@@ -76,6 +76,14 @@ class Simulator:
         # entry (the flag never flips mid-run; reading it once avoids a
         # dict lookup on every dispatched command).
         self._fuse = fuse_charges_default()
+        # True while _resume may take its inline CPU branch: fuse mode and
+        # _dispatch not wrapped on the instance (Tracer flips this).
+        self._fast_resume = self._fuse
+        # Cached metric-dict references (refreshed at run() entry: the
+        # service tier swaps sim.metrics for an extended object after
+        # construction) -- saves an attribute hop per dispatched command.
+        self._by_category = self.metrics.cpu_cycles_by_category
+        self._by_query = self.metrics.cpu_cycles_by_query
         Simulator._active = self
 
     # ------------------------------------------------------------------
@@ -103,7 +111,10 @@ class Simulator:
         self.threads.append(thread)
         if daemon:
             self._daemons.add(thread)
-        self.call_at(self.now, lambda: self._resume(thread))
+        # Resume events are (thread, value, 0) tuples interpreted by the run
+        # loop -- no per-event closure allocation (see ``run``).
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now, self._seq, (thread, None, 0)))
         return thread
 
     def call_at(self, when: float, fn: Callable[[], None]) -> None:
@@ -120,7 +131,8 @@ class Simulator:
         if thread.state is not ThreadState.BLOCKED:
             return False
         thread.state = ThreadState.READY
-        self.call_at(self.now, lambda: self._resume(thread, value))
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now, self._seq, (thread, value, 0)))
         return True
 
     # ------------------------------------------------------------------
@@ -140,7 +152,7 @@ class Simulator:
             return
         finally:
             self.current = prev
-        if type(cmd) is CpuCommand and self._fuse and "_dispatch" not in self.__dict__:
+        if type(cmd) is CpuCommand and self._fast_resume:
             # Inline copy of _dispatch's fast CPU branch -- every worker
             # yield funnels through here, so the extra call is measurable.
             # Keep in lockstep with _dispatch.  Skipped whenever _dispatch
@@ -148,13 +160,13 @@ class Simulator:
             # hooks keep seeing every command.
             cycles = cmd.cycles
             category = cmd.category
-            metrics = self.metrics
-            metrics.cpu_cycles_by_category[category] += cycles
-            metrics.cpu_cycles_by_query[(thread.query_id, category)] += cycles
+            self._by_category[category] += cycles
+            self._by_query[(thread.query_id, category)] += cycles
             rest = cmd.rest
             if cycles <= 0 and not rest:
                 thread.state = ThreadState.READY
-                self.call_at(self.now, lambda: self._resume(thread))
+                self._seq += 1
+                heapq.heappush(self._heap, (self.now, self._seq, (thread, None, 0)))
                 return
             thread.state = ThreadState.ON_CPU
             pool = self.cpu
@@ -168,7 +180,11 @@ class Simulator:
             if dt > 0:
                 n = len(pheap)
                 if n:
-                    pool.service += (rates[n] if n < len(rates) else pool._rate_for(n)) * dt
+                    try:
+                        r = rates[n]
+                    except IndexError:
+                        r = pool._rate_for(n)
+                    pool.service += r * dt
                     pool.util_integral += min(n, pool.cores) * dt
                     pool.busy_time += dt
                 pool._last_update = now
@@ -183,12 +199,18 @@ class Simulator:
             pool._version += 1
             remaining = pheap[0][0] - service
             n = len(pheap)
-            rate = rates[n] if n < len(rates) else pool._rate_for(n)
+            try:
+                rate = rates[n]
+            except IndexError:
+                rate = pool._rate_for(n)
             when = now + (remaining if remaining > 0.0 else 0.0) / rate
             pool.fresh_when = when
             pool.fresh_version = pool._version
             armed = pool.armed_when
-            if armed is None or when <= armed:
+            if armed is None or when < armed:
+                # Strict <: an event already armed at exactly `when` fires
+                # at the same instant -- re-pushing would just stale it and
+                # cost an extra heap round-trip per command.
                 self._push_pool_event(pool, when)
             return
         self._dispatch(thread, cmd)
@@ -217,14 +239,14 @@ class Simulator:
         if cmd_type is CpuCommand:
             cycles = cmd.cycles
             category = cmd.category
-            metrics = self.metrics
             # charge_cpu inlined (one dispatch per yielded command).
-            metrics.cpu_cycles_by_category[category] += cycles
-            metrics.cpu_cycles_by_query[(thread.query_id, category)] += cycles
+            self._by_category[category] += cycles
+            self._by_query[(thread.query_id, category)] += cycles
             rest = cmd.rest
             if cycles <= 0 and not rest:
                 thread.state = ThreadState.READY
-                self.call_at(self.now, lambda: self._resume(thread))
+                self._seq += 1
+                heapq.heappush(self._heap, (self.now, self._seq, (thread, None, 0)))
                 return
             thread.state = ThreadState.ON_CPU
             pool = self.cpu
@@ -243,7 +265,11 @@ class Simulator:
                 if dt > 0:
                     n = len(pheap)
                     if n:
-                        pool.service += (rates[n] if n < len(rates) else pool._rate_for(n)) * dt
+                        try:
+                            r = rates[n]
+                        except IndexError:
+                            r = pool._rate_for(n)
+                        pool.service += r * dt
                         pool.util_integral += min(n, pool.cores) * dt
                         pool.busy_time += dt
                     pool._last_update = now
@@ -260,12 +286,15 @@ class Simulator:
                 pool._version += 1
                 remaining = pheap[0][0] - service
                 n = len(pheap)
-                rate = rates[n] if n < len(rates) else pool._rate_for(n)
+                try:
+                    rate = rates[n]
+                except IndexError:
+                    rate = pool._rate_for(n)
                 when = now + (remaining if remaining > 0.0 else 0.0) / rate
                 pool.fresh_when = when
                 pool.fresh_version = pool._version
                 armed = pool.armed_when
-                if armed is None or when <= armed:
+                if armed is None or when < armed:
                     self._push_pool_event(pool, when)
                 return
             pool.add(self.now, thread, cycles, self._make_waker(thread), rest)
@@ -277,7 +306,8 @@ class Simulator:
             nbytes = cmd.nbytes
             if nbytes <= 0:
                 thread.state = ThreadState.READY
-                self.call_at(self.now, lambda: self._resume(thread))
+                self._seq += 1
+                heapq.heappush(self._heap, (self.now, self._seq, (thread, None, 0)))
                 return
             thread.state = ThreadState.ON_IO
             if self._fuse:
@@ -292,7 +322,11 @@ class Simulator:
                 if dt > 0:
                     n = len(pheap)
                     if n:
-                        device.service += (rates[n] if n < len(rates) else device._rate_for(n)) * dt
+                        try:
+                            r = rates[n]
+                        except IndexError:
+                            r = device._rate_for(n)
+                        device.service += r * dt
                         device.busy_time += dt
                     device._last_update = now
                 elif dt < 0:
@@ -307,12 +341,15 @@ class Simulator:
                 device._version += 1
                 remaining = pheap[0][0] - service
                 n = len(pheap)
-                rate = rates[n] if n < len(rates) else device._rate_for(n)
+                try:
+                    rate = rates[n]
+                except IndexError:
+                    rate = device._rate_for(n)
                 when = now + (remaining if remaining > 0.0 else 0.0) / rate
                 device.fresh_when = when
                 device.fresh_version = device._version
                 armed = device.armed_when
-                if armed is None or when <= armed:
+                if armed is None or when < armed:
                     self._push_pool_event(device, when)
                 return
             device.add(self.now, thread, nbytes, cmd.sequential, self._make_waker(thread))
@@ -387,8 +424,8 @@ class Simulator:
         pool.fresh_when = when
         pool.fresh_version = pool.version
         armed = pool.armed_when
-        if armed is not None and when > armed:
-            return  # the live event at `armed` fires first and chases
+        if armed is not None and when >= armed:
+            return  # the live event at `armed` fires first (or now) and chases
         self._push_pool_event(pool, when)
 
     def _push_pool_event(self, pool: CpuPool | IoDevice, when: float) -> None:
@@ -450,9 +487,8 @@ class Simulator:
         until = self._run_until
         is_cpu = pool is self.cpu
         cores = self.cpu.cores
-        metrics = self.metrics
-        by_category = metrics.cpu_cycles_by_category
-        by_query = metrics.cpu_cycles_by_query
+        by_category = self._by_category
+        by_query = self._by_query
         heappush = heapq.heappush
         heappop = heapq.heappop
         resume = self._resume
@@ -463,7 +499,11 @@ class Simulator:
             if dt > 0:
                 n = len(pheap)
                 if n:
-                    pool.service += (rates[n] if n < len(rates) else rate_for(n)) * dt
+                    try:
+                        r = rates[n]
+                    except IndexError:
+                        r = rate_for(n)
+                    pool.service += r * dt
                     if is_cpu:
                         pool.util_integral += min(n, cores) * dt
                     pool.busy_time += dt
@@ -480,7 +520,7 @@ class Simulator:
                 pool.fresh_when = when
                 pool.fresh_version = pool._version
                 armed = pool.armed_when
-                if armed is None or when <= armed:
+                if armed is None or when < armed:
                     self._push_pool_event(pool, when)
                 return
             e = heappop(pheap)
@@ -541,7 +581,10 @@ class Simulator:
                 return
             remaining = pheap[0][0] - service
             n = len(pheap)
-            rate = rates[n] if n < len(rates) else rate_for(n)
+            try:
+                rate = rates[n]
+            except IndexError:
+                rate = rate_for(n)
             when = now + (remaining if remaining > 0.0 else 0.0) / rate
             if (
                 (heap and when >= heap[0][0])
@@ -551,7 +594,7 @@ class Simulator:
                 pool.fresh_when = when
                 pool.fresh_version = pool._version
                 armed = pool.armed_when
-                if armed is None or when <= armed:
+                if armed is None or when < armed:
                     token = pool.arm_token + 1
                     pool.arm_token = token
                     pool.armed_when = when
@@ -577,6 +620,9 @@ class Simulator:
         Simulator._active = self
         self._run_until = until
         self._fuse = fuse_charges_default()
+        self._fast_resume = self._fuse and "_dispatch" not in self.__dict__
+        self._by_category = self.metrics.cpu_cycles_by_category
+        self._by_query = self.metrics.cpu_cycles_by_query
         # The event loop runs hundreds of thousands of iterations per
         # simulated second; hoist every per-iteration attribute lookup.
         heap = self._heap
@@ -584,6 +630,7 @@ class Simulator:
         heappush = heapq.heappush
         service_fast = self._service_pool_fast
         push_pool_event = self._push_pool_event
+        resume = self._resume
         try:
             while heap:
                 item = heappop(heap)
@@ -595,20 +642,25 @@ class Simulator:
                 self.now = when
                 fn = item[2]
                 if type(fn) is tuple:
-                    # A pool's live completion event (fast path): validate
-                    # the token, chase a later fresh estimate, or service.
-                    pool = fn[0]
-                    if fn[1] == pool.arm_token:
-                        pool.armed_when = None
-                        if pool.fresh_version == pool._version:
-                            fresh = pool.fresh_when
-                            if fresh is not None and fresh > when:
-                                # Completion moved later after this event was
-                                # armed (members joined); chase the recorded
-                                # fresh estimate.
-                                push_pool_event(pool, fresh)
-                            else:
-                                service_fast(pool)
+                    if len(fn) == 2:
+                        # A pool's live completion event (fast path): validate
+                        # the token, chase a later fresh estimate, or service.
+                        pool = fn[0]
+                        if fn[1] == pool.arm_token:
+                            pool.armed_when = None
+                            if pool.fresh_version == pool._version:
+                                fresh = pool.fresh_when
+                                if fresh is not None and fresh > when:
+                                    # Completion moved later after this event
+                                    # was armed (members joined); chase the
+                                    # recorded fresh estimate.
+                                    push_pool_event(pool, fresh)
+                                else:
+                                    service_fast(pool)
+                    else:
+                        # A thread resume event: (thread, value, 0) -- the
+                        # closure-free form of spawn/unblock scheduling.
+                        resume(fn[0], fn[1])
                 else:
                     fn()
                 if self._pending_error is not None:

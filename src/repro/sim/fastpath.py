@@ -8,11 +8,19 @@ switchboard:
 * ``fuse_charges`` -- workers yield :func:`repro.sim.commands.CPU_FUSED`
   commands, and the simulator services the resulting completion chains
   inline (see ``Simulator._service_pool``) instead of one heap event per
-  charge.
+  charge;
+* ``columnar_pages`` -- scan sources emit
+  :class:`~repro.storage.page.ColumnBatch` column views instead of row
+  batches, and the data plane runs late-materialized (selection vectors,
+  column kernels, join tails) until an emit point forces row tuples.
+  Charges are computed from row *counts*, which the columnar plane keeps
+  identical, so simulated results are bit-identical either way.
 
-Both default on; ``fast_path(False, False)`` restores the row-at-a-time
-"before" behavior for benchmarking and for the golden determinism tests,
-which hold the two modes to *bit-identical* simulated results.
+All default on; ``fast_path(False, False, False)`` restores the
+row-at-a-time "before" behavior for benchmarking and for the golden
+determinism tests, which hold the modes to *bit-identical* simulated
+results.  ``REPRO_COLUMNAR=0`` seeds the columnar default off at import
+time (spawned benchmark/worker processes inherit the parent's choice).
 
 A second switchboard carries the process-wide defaults of the **adaptive
 GQP data plane** (:mod:`repro.gqp.ordering`):
@@ -40,7 +48,11 @@ from __future__ import annotations
 import contextlib
 import os
 
-_FAST_PATH = {"batch_kernels": True, "fuse_charges": True}
+_FAST_PATH = {
+    "batch_kernels": True,
+    "fuse_charges": True,
+    "columnar_pages": os.environ.get("REPRO_COLUMNAR", "1") not in ("0", "false"),
+}
 
 _GQP_PLANE = {
     "adaptive_ordering": os.environ.get("REPRO_GQP_ORDERING", "") == "adaptive",
@@ -58,12 +70,28 @@ def fuse_charges_default() -> bool:
     return _FAST_PATH["fuse_charges"]
 
 
+def columnar_pages_default() -> bool:
+    """Process-wide default for the columnar (late-materialized) data plane."""
+    return _FAST_PATH["columnar_pages"]
+
+
 @contextlib.contextmanager
-def fast_path(batch_kernels: bool = True, fuse_charges: bool = True):
-    """Temporarily override the fast-path defaults (benchmarking/tests)."""
+def fast_path(
+    batch_kernels: bool = True,
+    fuse_charges: bool = True,
+    columnar_pages: bool | None = None,
+):
+    """Temporarily override the fast-path defaults (benchmarking/tests).
+
+    ``columnar_pages=None`` follows ``batch_kernels`` -- the historical
+    two-argument calls ``fast_path(False, False)`` / ``fast_path(True,
+    True)`` keep meaning "everything off" / "everything on"."""
     saved = dict(_FAST_PATH)
     _FAST_PATH["batch_kernels"] = batch_kernels
     _FAST_PATH["fuse_charges"] = fuse_charges
+    _FAST_PATH["columnar_pages"] = (
+        batch_kernels if columnar_pages is None else columnar_pages
+    )
     try:
         yield
     finally:

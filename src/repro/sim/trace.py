@@ -93,6 +93,9 @@ class Tracer:
 
         sim._dispatch = dispatch  # type: ignore[method-assign]
         sim._finish = finish  # type: ignore[method-assign]
+        # _resume's inline CPU branch would bypass the wrapper; disable it
+        # so the hook sees every command.
+        sim._fast_resume = False
         return self
 
     def detach(self) -> None:
@@ -101,6 +104,7 @@ class Tracer:
             return
         self.sim._dispatch = self._orig_dispatch  # type: ignore[method-assign]
         self.sim._finish = self._orig_finish  # type: ignore[method-assign]
+        self.sim._fast_resume = self.sim._fuse and "_dispatch" not in self.sim.__dict__
         self._orig_dispatch = None
         self._orig_finish = None
 

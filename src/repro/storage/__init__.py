@@ -12,7 +12,15 @@ simulation runs.
 from repro.storage.bufferpool import BufferPool
 from repro.storage.cache import OsPageCache
 from repro.storage.manager import StorageConfig, StorageManager
-from repro.storage.page import Batch, Page
+from repro.storage.page import (
+    Batch,
+    ColumnBatch,
+    ColumnPage,
+    Page,
+    full_mask,
+    mask_to_sel,
+    sel_to_mask,
+)
 from repro.storage.schema import Column, Schema
 from repro.storage.table import Table
 
@@ -20,10 +28,15 @@ __all__ = [
     "Batch",
     "BufferPool",
     "Column",
+    "ColumnBatch",
+    "ColumnPage",
     "OsPageCache",
     "Page",
     "Schema",
     "StorageConfig",
     "StorageManager",
     "Table",
+    "full_mask",
+    "mask_to_sel",
+    "sel_to_mask",
 ]

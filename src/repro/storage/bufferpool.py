@@ -53,6 +53,16 @@ class BufferPool:
     def resident_bytes(self) -> float:
         return self._bytes
 
+    @property
+    def latch_charge(self):
+        """The latch acquisition charge (a cached immutable CpuCommand, or
+        None when acquisition is free).  Callers in fuse mode may *prepay*
+        it by fusing it into the tail of the CPU command that immediately
+        precedes their next ``read_page(..., latch_prepaid=True)`` -- legal
+        because the charge is the first thing ``read_page`` yields, so its
+        completion instant and the latch-take order are unchanged."""
+        return self._latch.charge_cmd
+
     def read_page(
         self,
         table: "Table",
@@ -60,19 +70,22 @@ class BufferPool:
         ram_resident: bool = False,
         direct_io: bool = False,
         sequential: bool = True,
+        latch_prepaid: bool = False,
     ) -> Iterator[Any]:
         """Fetch a page (generator); returns the :class:`Page`.
 
         ``ram_resident`` models the paper's RAM-drive experiments: the page
         is always a hit and no I/O is possible.  ``direct_io`` bypasses the
-        OS cache (but not the buffer pool -- Shore-MT still buffers)."""
+        OS cache (but not the buffer pool -- Shore-MT still buffers).
+        ``latch_prepaid`` means the caller already charged
+        :attr:`latch_charge` (fused into its preceding command)."""
         page = table.page(page_index)
         key = (table.name, page_index)
         # Inline latch protocol (one acquisition per page read); the yields
         # match ``yield from self._latch.acquire()`` exactly.
         latch = self._latch
         me = self.sim.current
-        if latch.charge_cmd is not None:
+        if not latch_prepaid and latch.charge_cmd is not None:
             yield latch.charge_cmd
         if not latch.take_or_enqueue(me):
             yield BLOCK

@@ -106,16 +106,30 @@ class StorageManager:
         return self.result_cache.invalidate_table(table_name)
 
     # ------------------------------------------------------------------
-    def read_page(self, table: Table, page_index: int, sequential: bool = True) -> Iterator[Any]:
-        """Generator: fetch one page under the active storage config."""
-        page = yield from self.bufferpool.read_page(
+    def read_page(
+        self,
+        table: Table,
+        page_index: int,
+        sequential: bool = True,
+        latch_prepaid: bool = False,
+    ) -> Iterator[Any]:
+        """Fetch one page under the active storage config.  Returns the
+        buffer pool's generator directly (not a wrapping generator): the
+        hot scan loops drive it with ``yield from``, which then skips this
+        frame entirely on every resume."""
+        return self.bufferpool.read_page(
             table,
             page_index,
             ram_resident=self.ram_resident,
             direct_io=self.config.direct_io,
             sequential=sequential,
+            latch_prepaid=latch_prepaid,
         )
-        return page
+
+    def latch_prepay_charge(self):
+        """The buffer-pool latch charge for prepaying scan loops (see
+        :attr:`BufferPool.latch_charge`); None when acquisition is free."""
+        return self.bufferpool.latch_charge
 
     def scan_pages(
         self, table: Table, start_page: int = 0, num_pages: int | None = None

@@ -1,57 +1,177 @@
-"""Pages and batches.
+"""Pages and batches: dual row/column representation.
 
-A :class:`Page` is a fixed slice of a table's rows -- the unit of buffer-pool
-residency and disk I/O.  A :class:`Batch` is the unit of data flow between
-operators (through FIFO buffers and Shared Pages Lists); scan stages turn
-pages into batches, operators transform batches.
+A :class:`ColumnPage` (exported as :data:`Page`) is a fixed slice of a
+table's rows -- the unit of buffer-pool residency and disk I/O.  It keeps
+**both** layouts lazily: a tuple of row tuples and a tuple of per-column
+vectors, each derived from the other on first access and cached.  Tables
+loaded from rows pay nothing until a columnar consumer asks for
+:attr:`ColumnPage.columns`; tables built column-wise (zero-copy shard
+partitions, see :func:`repro.shard.partition.partition_table`) never
+materialize row tuples unless a row consumer forces them.
 
-Both carry a ``weight``: the number of real rows each generated row
-represents (see the scale substitution in DESIGN.md), so CPU and I/O charges
-reflect paper-scale data volumes.
+A :class:`Batch` is the unit of data flow between operators (through FIFO
+buffers and Shared Pages Lists); scan stages turn pages into batches,
+operators transform batches.  With the ``columnar_pages`` fast path on,
+scans emit :class:`ColumnBatch` instead: base column vectors plus a
+*selection vector* (``sel``) of live positions and an optional per-row
+``tail`` of join-attached payload tuples.  Selections shrink ``sel``
+without touching the columns, joins append to ``tail`` without rebuilding
+wide row tuples, and ``.rows`` materializes lazily only at emit points
+(sort, client collection, push-SP copies) -- late materialization.
 
-Immutability contract: ``Page.rows`` is a tuple and :meth:`Page.to_batch`
-hands that same tuple to the Batch -- *zero copies*.  Operators must never
-mutate a batch's ``rows`` in place (they build new row lists and new
-Batches); the one place that needs a private, independently-owned copy --
-push-based SP fanning a batch out to satellites -- goes through
-:meth:`Batch.copy` and is charged for it.
+Live masks: the canonical mask over a batch is the selection vector (the
+fastest representation for CPython's list comprehensions); the int-bitmap
+form used by CJOIN's per-row query bitmaps is available through
+:func:`sel_to_mask` / :func:`mask_to_sel` for consumers that AND masks.
+
+Both pages and batches carry a ``weight``: the number of real rows each
+generated row represents (see the scale substitution in DESIGN.md), so CPU
+and I/O charges reflect paper-scale data volumes.
+
+Immutability contract: ``ColumnPage`` rows/columns are shared, never
+copied, between the page and the batches viewing it -- *zero copies*.
+Operators must never mutate a batch's ``rows``, ``cols``, ``sel`` or
+``tail`` in place (they build new selections and new batches); the one
+place that needs a private, independently-owned copy -- push-based SP
+fanning a batch out to satellites -- goes through :meth:`Batch.copy` /
+:meth:`ColumnBatch.copy` and is charged for it.
 """
 
 from __future__ import annotations
 
 from typing import Any, Sequence
 
+__all__ = [
+    "Batch",
+    "ColumnBatch",
+    "ColumnPage",
+    "Page",
+    "full_mask",
+    "mask_to_sel",
+    "sel_to_mask",
+]
 
-class Page:
-    """An immutable slice of table rows."""
 
-    __slots__ = ("table_name", "index", "rows", "weight", "real_bytes")
+# ----------------------------------------------------------------------
+# Int-bitmap live-mask helpers (CJOIN-style masks <-> selection vectors).
+# ----------------------------------------------------------------------
+def full_mask(n: int) -> int:
+    """The mask with the low ``n`` bits set (every row live)."""
+    return (1 << n) - 1
+
+
+def sel_to_mask(sel: Sequence[int]) -> int:
+    """Fold a selection vector into an int bitmap (bit ``j`` = row ``j``)."""
+    mask = 0
+    for j in sel:
+        mask |= 1 << j
+    return mask
+
+
+def mask_to_sel(mask: int, n: int) -> list[int]:
+    """The ascending positions of set bits among the low ``n`` bits."""
+    return [j for j in range(n) if mask >> j & 1]
+
+
+class ColumnPage:
+    """An immutable slice of table rows, held row- and column-wise.
+
+    Exactly one of ``rows`` / ``columns`` must be given; the other
+    representation is derived lazily on first access and cached (both
+    directions are pure ``zip`` transposes, so a round trip reproduces the
+    input exactly -- the property suite in ``tests/storage`` holds it to
+    that)."""
+
+    __slots__ = ("table_name", "index", "weight", "real_bytes", "_rows", "_cols")
 
     def __init__(
         self,
         table_name: str,
         index: int,
-        rows: Sequence[tuple],
+        rows: Sequence[tuple] | None,
         weight: float,
         real_bytes: float,
+        columns: Sequence[Sequence[Any]] | None = None,
     ):
+        if (rows is None) == (columns is None):
+            raise ValueError("exactly one of rows/columns must be given")
         self.table_name = table_name
         self.index = index
-        self.rows = tuple(rows)
         self.weight = weight
         self.real_bytes = real_bytes
+        self._rows = None if rows is None else tuple(rows)
+        self._cols = None if columns is None else tuple(columns)
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[tuple],
+        table_name: str = "",
+        index: int = 0,
+        weight: float = 1.0,
+        real_bytes: float = 0.0,
+    ) -> "ColumnPage":
+        return cls(table_name, index, rows, weight, real_bytes)
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Sequence[Sequence[Any]],
+        table_name: str = "",
+        index: int = 0,
+        weight: float = 1.0,
+        real_bytes: float = 0.0,
+    ) -> "ColumnPage":
+        return cls(table_name, index, None, weight, real_bytes, columns=columns)
+
+    # -- representations ------------------------------------------------
+    @property
+    def rows(self) -> tuple[tuple, ...]:
+        """Row tuples (materialized from the columns on first access)."""
+        rows = self._rows
+        if rows is None:
+            rows = self._rows = tuple(zip(*self._cols))
+        return rows
+
+    @property
+    def columns(self) -> tuple[Sequence[Any], ...]:
+        """Per-column vectors (materialized from the rows on first access)."""
+        cols = self._cols
+        if cols is None:
+            cols = self._cols = tuple(zip(*self._rows))
+        return cols
+
+    def to_rows(self) -> list[tuple]:
+        """A fresh list of this page's row tuples (property-test hook)."""
+        return list(self.rows)
 
     def __len__(self) -> int:
-        return len(self.rows)
+        rows = self._rows
+        if rows is not None:
+            return len(rows)
+        cols = self._cols
+        return len(cols[0]) if cols else 0
 
-    def to_batch(self) -> "Batch":
-        """A Batch viewing this page's rows -- zero-copy: the Batch shares
-        the page's row tuple (safe because batches are never mutated in
-        place; see the module docstring)."""
+    # -- batches --------------------------------------------------------
+    def to_batch(self, columnar: bool = False) -> "Batch | ColumnBatch":
+        """A Batch viewing this page -- zero-copy: the batch shares the
+        page's row tuple / column vectors (safe because batches are never
+        mutated in place; see the module docstring).  ``columnar=True``
+        hands out a :class:`ColumnBatch` over the page's columns whose
+        ``.rows`` resolves through the page cache, so repeated circular
+        scans materialize row tuples at most once per page."""
+        if columnar:
+            return ColumnBatch(self.columns, None, self.weight, src=self)
         return Batch(self.rows, self.weight)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Page {self.table_name}[{self.index}] rows={len(self.rows)}>"
+        return f"<Page {self.table_name}[{self.index}] rows={len(self)}>"
+
+
+#: Backwards-compatible name: pages have been columnar since this class
+#: grew its dual representation, but the engine still says "Page".
+Page = ColumnPage
 
 
 class Batch:
@@ -76,3 +196,140 @@ class Batch:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Batch rows={len(self.rows)} weight={self.weight}>"
+
+
+class ColumnBatch:
+    """A late-materialized batch: base columns + selection vector + tail.
+
+    Logical row ``p`` (``0 <= p < len(self)``) is::
+
+        tuple(col[sel[p]] for col in cols) + tail[p]
+
+    with ``sel is None`` meaning the identity selection (all base rows in
+    order) and ``tail is None`` meaning no join-attached payload.  The
+    base ``cols`` are shared, never copied: a selection produces a new
+    batch with a smaller ``sel`` over the *same* columns, and a hash join
+    produces a new ``sel`` (probe-side positions, one per match) plus a
+    ``tail`` of matched build rows -- no wide output tuples.
+
+    ``column(i)`` gathers one logical column; ``.rows`` materializes the
+    full row view once and caches it (consumers that need tuples -- sort,
+    client result collection, push-SP copies -- pay only at that point).
+    """
+
+    __slots__ = ("cols", "sel", "tail", "weight", "meta", "_rows", "_src")
+
+    def __init__(
+        self,
+        cols: tuple[Sequence[Any], ...],
+        sel: Sequence[int] | None = None,
+        weight: float = 1.0,
+        tail: Sequence[tuple] | None = None,
+        meta: Any = None,
+        src: ColumnPage | None = None,
+    ):
+        if tail is not None and sel is None:
+            raise ValueError("a tail requires an explicit selection vector")
+        self.cols = cols
+        self.sel = sel
+        self.tail = tail
+        self.weight = weight
+        self.meta = meta
+        self._rows = None
+        self._src = src
+
+    def __len__(self) -> int:
+        sel = self.sel
+        if sel is not None:
+            return len(sel)
+        cols = self.cols
+        return len(cols[0]) if cols else 0
+
+    @property
+    def arity(self) -> int:
+        tail = self.tail
+        return len(self.cols) + (len(tail[0]) if tail else 0)
+
+    @property
+    def live_mask(self) -> int:
+        """The selection as an int bitmap over the base rows."""
+        sel = self.sel
+        if sel is None:
+            cols = self.cols
+            return full_mask(len(cols[0]) if cols else 0)
+        return sel_to_mask(sel)
+
+    def column(self, i: int) -> Sequence[Any]:
+        """Logical column ``i``, gathered through the selection vector.
+
+        For a full batch (``sel is None``) this is the base vector itself,
+        zero-copy; treat it as read-only."""
+        cols = self.cols
+        nb = len(cols)
+        if i < nb:
+            col = cols[i]
+            sel = self.sel
+            if sel is None:
+                return col
+            return [col[j] for j in sel]
+        k = i - nb
+        tail = self.tail
+        if tail is None:
+            raise IndexError(f"column {i} out of range for arity {nb}")
+        return [t[k] for t in tail]
+
+    def take(self, positions: list[int]) -> "ColumnBatch":
+        """The sub-batch at the given logical positions (a selection pass
+        result), sharing the base columns."""
+        sel = self.sel
+        new_sel = positions if sel is None else [sel[p] for p in positions]
+        tail = self.tail
+        new_tail = None if tail is None else [tail[p] for p in positions]
+        return ColumnBatch(self.cols, new_sel, self.weight, new_tail, self.meta)
+
+    @property
+    def rows(self) -> Sequence[tuple]:
+        """The materialized row view (computed once, then cached)."""
+        rows = self._rows
+        if rows is not None:
+            return rows
+        src = self._src
+        if src is not None and self.sel is None and self.tail is None:
+            # Page view: resolve through (and populate) the page's cache.
+            rows = src.rows
+        else:
+            cols = self.cols
+            sel = self.sel
+            if not cols:
+                base: Any = [()] * len(self)
+            elif sel is None:
+                base = list(zip(*cols))
+            else:
+                base = list(zip(*([col[j] for j in sel] for col in cols)))
+            tail = self.tail
+            if tail is not None:
+                base = [b + t for b, t in zip(base, tail)]
+            rows = base
+        self._rows = rows
+        return rows
+
+    def copy(self) -> "ColumnBatch":
+        """A privately-owned selection/tail copy (base columns stay shared
+        -- they are immutable; what push-based SP pays cycles for is the
+        per-row bookkeeping, same as the row form's shallow copy)."""
+        sel = self.sel
+        tail = self.tail
+        return ColumnBatch(
+            self.cols,
+            None if sel is None else list(sel),
+            self.weight,
+            None if tail is None else list(tail),
+            self.meta,
+            src=self._src,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ColumnBatch rows={len(self)} arity={self.arity}"
+            f" weight={self.weight}>"
+        )

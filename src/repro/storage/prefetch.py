@@ -47,12 +47,24 @@ class PageSource:
             sim.spawn(self._read_ahead(self.position), name=f"{name}.fetcher", daemon=True)
 
     # ------------------------------------------------------------------
-    def next(self) -> Iterator[Any]:
-        """Generator: fetch the page at the current position and advance."""
+    @property
+    def direct(self) -> bool:
+        """True when ``next`` reads synchronously through the buffer pool
+        (no read-ahead channel) -- the precondition for latch prepaying."""
+        return self._chan is None
+
+    def next(self, latch_prepaid: bool = False) -> Iterator[Any]:
+        """Generator: fetch the page at the current position and advance.
+
+        ``latch_prepaid`` is only meaningful on a :attr:`direct` source: it
+        means the caller fused the buffer-pool latch charge into the tail
+        of its preceding CPU command (see ``BufferPool.latch_charge``)."""
         if self._chan is not None:
             page = yield from self._chan.get()
         else:
-            page = yield from self.storage.read_page(self.table, self.position)
+            page = yield from self.storage.read_page(
+                self.table, self.position, latch_prepaid=latch_prepaid
+            )
         self.position = (self.position + 1) % self.table.num_pages
         return page
 

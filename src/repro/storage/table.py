@@ -1,14 +1,20 @@
-"""Tables: immutable paged row storage.
+"""Tables: immutable paged storage, row- or column-built.
 
 A table's rows are generated at ~1/1000 of the paper's real cardinality;
 ``row_weight`` records how many real rows each generated row represents so
 that CPU charges (cycles x weight) and I/O charges (bytes x weight) match
 paper-scale volumes.
+
+Pages are :class:`~repro.storage.page.ColumnPage` -- dual row/column
+representation, each direction lazy.  :meth:`Table.from_columns` builds a
+table *column-wise* (pages slice the column vectors; row tuples are never
+materialized unless a row consumer forces them) -- the zero-copy path the
+shard tier uses to hand out fact partitions.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 from repro.storage.page import Page
 from repro.storage.schema import Schema
@@ -44,6 +50,7 @@ class Table:
         self.row_weight = float(row_weight)
         self.tuples_per_page = tuples_per_page
         self.pages: list[Page] = []
+        self._cols: tuple[Sequence[Any], ...] | None = None
         rows = list(rows)
         for start in range(0, len(rows), tuples_per_page):
             chunk = rows[start : start + tuples_per_page]
@@ -57,6 +64,55 @@ class Table:
                 )
             )
         self.num_rows = len(rows)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        schema: Schema,
+        columns: Sequence[Sequence[Any]],
+        row_weight: float = 1.0,
+        tuples_per_page: int = TUPLES_PER_PAGE,
+    ) -> "Table":
+        """Build a table from per-column vectors without materializing row
+        tuples.  Pages slice the vectors (a C-level operation per column
+        per page); page structure, weights and byte accounting are
+        identical to the row constructor's, so simulated charges do not
+        depend on which way a table was built."""
+        if len(columns) != len(schema):
+            raise ValueError(
+                f"column count {len(columns)} does not match schema arity {len(schema)}"
+            )
+        table = cls.__new__(cls)
+        if row_weight <= 0:
+            raise ValueError("row_weight must be positive")
+        if tuples_per_page < 1:
+            raise ValueError("tuples_per_page must be >= 1")
+        table.name = name
+        table.schema = schema
+        table.row_weight = float(row_weight)
+        table.tuples_per_page = tuples_per_page
+        table.pages = []
+        n = len(columns[0]) if columns else 0
+        for col in columns:
+            if len(col) != n:
+                raise ValueError("ragged columns")
+        table._cols = tuple(columns)
+        for start in range(0, n, tuples_per_page):
+            end = min(start + tuples_per_page, n)
+            table.pages.append(
+                Page(
+                    table_name=name,
+                    index=len(table.pages),
+                    rows=None,
+                    weight=table.row_weight,
+                    real_bytes=(end - start) * table.row_weight * schema.row_bytes,
+                    columns=tuple(col[start:end] for col in columns),
+                )
+            )
+        table.num_rows = n
+        return table
 
     # ------------------------------------------------------------------
     @property
@@ -79,6 +135,69 @@ class Table:
     def iter_rows(self) -> Iterator[tuple]:
         for p in self.pages:
             yield from p.rows
+
+    def columns(self) -> tuple[Sequence[Any], ...]:
+        """Full-table column vectors (concatenated page columns, cached).
+        Zero-copy shard partitioning gathers from these; building them in
+        the parent before forking workers ships them copy-on-write."""
+        cols = self._cols
+        if cols is None:
+            acc: list[list[Any]] = [[] for _ in self.schema.columns]
+            for page in self.pages:
+                for out, col in zip(acc, page.columns):
+                    out.extend(col)
+            cols = self._cols = tuple(acc)
+        return cols
+
+    def warm_columns(self) -> None:
+        """Materialize the column caches (table- and page-level) so forked
+        workers inherit them copy-on-write instead of each rebuilding."""
+        self.columns()
+        for page in self.pages:
+            page.columns  # noqa: B018 - property access populates the cache
+
+    # ------------------------------------------------------------------
+    def packed_columns(self) -> list[Any]:
+        """The columns packed tight: ``array.array`` for numeric kinds
+        (8 bytes per value, no per-element boxing), plain object lists for
+        strings.  Used for the memory-footprint report; falls back to a
+        list for values outside the machine-int range."""
+        import array
+
+        out: list[Any] = []
+        for col_def, col in zip(self.schema.columns, self.columns()):
+            if col_def.kind == "int":
+                try:
+                    out.append(array.array("q", col))
+                    continue
+                except (OverflowError, TypeError):  # pragma: no cover - huge ints
+                    pass
+            elif col_def.kind == "float":
+                out.append(array.array("d", col))
+                continue
+            out.append(list(col))
+        return out
+
+    def memory_footprint(self) -> dict[str, int]:
+        """Resident bytes of the two layouts: ``rows_bytes`` counts the
+        per-row tuple objects plus boxed numeric elements (what a tuple
+        forest keeps alive), ``columns_bytes`` counts the array-packed
+        numeric columns plus object lists for strings.  String payloads
+        are excluded from both (shared references either way)."""
+        import sys
+
+        numeric = tuple(c.kind in ("int", "float") for c in self.schema.columns)
+        rows_bytes = 0
+        for page in self.pages:
+            rows = page.rows
+            rows_bytes += sys.getsizeof(rows)
+            for r in rows:
+                rows_bytes += sys.getsizeof(r)
+                for v, is_num in zip(r, numeric):
+                    if is_num:
+                        rows_bytes += sys.getsizeof(v)
+        columns_bytes = sum(sys.getsizeof(col) for col in self.packed_columns())
+        return {"rows_bytes": rows_bytes, "columns_bytes": columns_bytes}
 
     def __len__(self) -> int:
         return self.num_rows

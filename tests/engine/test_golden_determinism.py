@@ -44,9 +44,12 @@ def ssb():
     return generate_ssb(0.5, seed=21)
 
 
-def run_mix(ssb, config_key: str, *, batch: bool, fuse: bool) -> dict:
-    """One seeded 6-query Q3.2 mix; returns a JSON-safe measurement dict."""
-    with fast_path(batch_kernels=batch, fuse_charges=fuse):
+def run_mix(
+    ssb, config_key: str, *, batch: bool, fuse: bool, columnar: bool | None = None
+) -> dict:
+    """One seeded 6-query Q3.2 mix; returns a JSON-safe measurement dict.
+    ``columnar=None`` follows ``batch`` (the fast_path default)."""
+    with fast_path(batch_kernels=batch, fuse_charges=fuse, columnar_pages=columnar):
         sim = Simulator(MACHINE)
         storage = StorageManager(
             sim, DEFAULT_COST_MODEL, ssb.tables, StorageConfig(resident="memory")
@@ -84,6 +87,42 @@ def test_fast_path_is_bit_identical(ssb, config_key):
 def test_each_fast_path_is_independently_identical(ssb, batch, fuse):
     base = run_mix(ssb, "CJOIN-SP", batch=False, fuse=False)
     assert run_mix(ssb, "CJOIN-SP", batch=batch, fuse=fuse) == base
+
+
+@pytest.mark.parametrize("config_key", list(CONFIGS), ids=list(CONFIGS))
+def test_columnar_plane_is_bit_identical(ssb, config_key):
+    """The columnar (late-materialized) data plane changes only host-side
+    layout: batches, selection vectors and join tails carry the same row
+    counts as the row plane, so every charge -- and therefore every
+    simulated tick -- must match bitwise with the toggle alone flipped."""
+    rows = run_mix(ssb, config_key, batch=True, fuse=True, columnar=False)
+    cols = run_mix(ssb, config_key, batch=True, fuse=True, columnar=True)
+    assert cols == rows
+
+
+@pytest.mark.parametrize("mode", ["hash", "range"])
+def test_shard_fingerprints_identical_row_vs_columnar_partitioning(ssb, mode):
+    """Zero-copy shard partitions (column slices / gathers through
+    ``Table.from_columns``) must be *indistinguishable* from row-built
+    partitions to a shard engine: identical partial-aggregate state and
+    identical simulated service time on every shard."""
+    from repro.parallel.cells import DatasetSpec
+    from repro.query.ssb_queries import q32
+    from repro.shard.partition import shard_tables
+    from repro.shard.spec import ShardConfig
+    from repro.shard.worker import execute_shard_query
+
+    spec = q32("CHINA", "FRANCE", 1993, 1996)
+    config = ShardConfig(n_shards=2, dataset=DatasetSpec("ssb", 0.5, 21))
+    for shard in range(2):
+        fingerprints = []
+        for columnar in (False, True):
+            view = shard_tables(
+                ssb.tables, "lineorder", shard, 2, mode, 21, columnar=columnar
+            )
+            state, svc = execute_shard_query(view, spec, config)
+            fingerprints.append((state, svc))
+        assert fingerprints[0] == fingerprints[1]  # bitwise: == on floats
 
 
 def _jsonify(measured: dict) -> dict:

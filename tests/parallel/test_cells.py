@@ -104,8 +104,10 @@ def test_fast_flags_captured_at_enumeration():
     the flags ride in the spec, not in process-global state."""
     with fast_path(batch_kernels=False, fuse_charges=False):
         spec = _specs(1)[0]
-        assert spec.fast_flags == (False, False)
-    assert current_fast_flags() == (True, True)
+        assert spec.fast_flags == (False, False, False)
+    # Outside the context the columnar flag falls back to its env default
+    # (REPRO_COLUMNAR), so only pin the first two here.
+    assert current_fast_flags()[:2] == (True, True)
     # Executing outside the context still replays the captured slow path,
     # and simulated results equal the fast path's (the golden guarantee).
     slow = execute_cell(spec)

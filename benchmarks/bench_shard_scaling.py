@@ -129,6 +129,10 @@ def to_artifact(reports) -> dict:
             "latency_p95_s": round(lat["p95"], 6),
             "scatter_overhead_s": round(m.scatter_overhead_s, 6),
             "gather_overhead_s": round(m.gather_overhead_s, 6),
+            "prewarm_scatter_s": round(m.prewarm_scatter_s, 6),
+            "partition_shipped_bytes": sum(
+                s["shipped_bytes"] for s in m.partition_shipping.values()
+            ),
             "peak_shard_backlog_s": round(m.peak_shard_backlog_s, 6),
             "stragglers": {str(k): v for k, v in sorted(m.straggler_counts.items())},
             "result_digest": r.fingerprint_lines()[-1].split()[1] if r.results else "",

@@ -33,16 +33,20 @@ import dataclasses
 
 from repro.bench.experiments import fig10_concurrency, fig13_scale_factor
 from repro.bench.runner import POSTGRES, run_batch
-from repro.bench.workload import gqp_skewed_workload, q32_random_workload
+from repro.bench.workload import QueryJob, gqp_skewed_workload, q32_random_workload
 from repro.data import generate_ssb
+from repro.data.rng import make_rng
 from repro.engine.config import (
     CJOIN,
     CJOIN_SP,
     QPIPE_SP,
     columnar_pages_default,
     fast_path,
+    packed_storage_default,
 )
+from repro.query.ssb_queries import random_q11
 from repro.storage.manager import StorageConfig
+from repro.storage.packed import column_nbytes
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUT_PATH = ROOT / "BENCH_wallclock.json"
@@ -210,21 +214,108 @@ def bench_columnar_pages(n: int, sf: float, seed: int, reps: int = 1) -> dict:
     }
 
 
+def _fact_bytes_resident(ds) -> int:
+    """Resident bytes of the fact table's live column vectors (whatever
+    layout the current flags built)."""
+    fact = ds.tables["lineorder"]
+    return sum(
+        column_nbytes(col, cd.kind)
+        for col, cd in zip(fact.columns(), fact.schema.columns)
+    )
+
+
+def bench_packed_storage(n: int, sf: float, seed: int, reps: int = 1) -> dict:
+    """The packed-storage rows: one row per engine, packed vectors off vs
+    on (columnar plane, batch kernels and fused charges stay on in both
+    runs, so each row isolates the packed layer's host-side contribution
+    on a scan/filter-dominated workload).
+
+    The workload is ``n`` random SSB Q1.1 instances: a single-dimension
+    join plus a two-term fact predicate on ``lo_discount`` (11 distinct
+    values) and ``lo_quantity`` (50) -- both dictionary-encoded, so the
+    packed run selects through memoized per-page predicate bitmaps ANDed
+    as single ints, while the boxed run filters boxed lists.  The dataset
+    is regenerated inside each mode: layout is baked in at table build
+    time (the memo is keyed by the effective flag).  Each row also
+    carries the fact table's resident column bytes per mode -- the memory
+    win ships with the speed win in one artifact."""
+    storage = StorageConfig(resident="memory")
+
+    def q11_workload():
+        rng = make_rng(seed, "bench-q11")
+        return [QueryJob(spec=random_q11(rng)) for _ in range(n)]
+
+    out = {}
+    for name, config in ENGINES.items():
+        with fast_path(
+            batch_kernels=True, fuse_charges=True,
+            columnar_pages=True, packed_storage=False,
+        ):
+            ds = generate_ssb(sf, seed)
+            boxed_bytes = _fact_bytes_resident(ds)
+            workload = q11_workload()
+            before_s, before, before_reps = _timed(
+                lambda: run_batch(ds.tables, config, workload, storage), reps
+            )
+        with fast_path(
+            batch_kernels=True, fuse_charges=True,
+            columnar_pages=True, packed_storage=True,
+        ):
+            ds = generate_ssb(sf, seed)
+            packed_bytes = _fact_bytes_resident(ds)
+            workload = q11_workload()
+            after_s, after, after_reps = _timed(
+                lambda: run_batch(ds.tables, config, workload, storage), reps
+            )
+        if _engine_fingerprint(before) != _engine_fingerprint(after):
+            raise SystemExit(
+                f"SIMULATED RESULTS DIVERGED for {name}: packed storage "
+                "changed ticks or charges -- this is a bug, not a perf issue"
+            )
+        out[f"Packed storage ({name}, off vs on)"] = {
+            "n_queries": n,
+            "before_s": round(before_s, 3),
+            "after_s": round(after_s, 3),
+            "speedup": round(before_s / after_s, 2) if after_s else None,
+            "before": _spread(before_reps),
+            "after": _spread(after_reps),
+            "bytes_resident": {
+                "boxed": boxed_bytes,
+                "packed": packed_bytes,
+                "packed_vs_boxed": (
+                    round(packed_bytes / boxed_bytes, 3) if boxed_bytes else None
+                ),
+            },
+        }
+    return out
+
+
 def memory_report(sf: float, seed: int) -> dict:
-    """Resident bytes of the fact table's two layouts (row-tuple forest vs
-    array-packed columns) -- the data-plane footprint the columnar plane
-    trades against.  Informational: never part of any simulated metric."""
+    """Resident bytes of the fact table's layouts: the row-tuple forest,
+    the packed column vectors (dictionary codes + typed arrays), and what
+    the same columns cost as boxed lists -- the data-plane footprint the
+    packed layer trades against.  Informational: never part of any
+    simulated metric."""
+    from repro.storage.packed import as_list
+
     ds = generate_ssb(sf, seed)
     fact = ds.tables["lineorder"]
     footprint = fact.memory_footprint()
     rows_b, cols_b = footprint["rows_bytes"], footprint["columns_bytes"]
+    boxed_b = sum(
+        column_nbytes(list(as_list(col)), cd.kind)
+        for col, cd in zip(fact.columns(), fact.schema.columns)
+    )
     return {
         "fact_table": fact.name,
         "sf": sf,
         "rows": fact.num_rows,
         "rows_bytes": rows_b,
         "columns_bytes": cols_b,
+        "boxed_columns_bytes": boxed_b,
         "columns_vs_rows": round(cols_b / rows_b, 3) if rows_b else None,
+        "packed_vs_boxed": round(cols_b / boxed_b, 3) if boxed_b else None,
+        "column_layouts": footprint["column_layouts"],
     }
 
 
@@ -275,6 +366,7 @@ def main(argv: list[str] | None = None) -> int:
             "cpus": os.cpu_count(),
             "jobs": jobs,
             "columnar_default": columnar_pages_default(),
+            "packed_default": packed_storage_default(),
         },
         "engines": {},
         "experiments": {},
@@ -285,6 +377,7 @@ def main(argv: list[str] | None = None) -> int:
         report["engines"] = bench_engines(n=16, sf=0.5, seed=42, reps=reps)
         report["engines"].update(bench_cjoin_chain(n=16, sf=0.5, seed=42, reps=reps))
         report["engines"].update(bench_columnar_pages(n=16, sf=0.5, seed=42, reps=reps))
+        report["engines"].update(bench_packed_storage(n=16, sf=0.5, seed=42, reps=reps))
         report["memory"] = memory_report(sf=0.5, seed=42)
         report["experiments"]["fig10_concurrency"] = bench_experiment(
             "fig10", lambda: fig10_concurrency(
@@ -300,6 +393,7 @@ def main(argv: list[str] | None = None) -> int:
         report["engines"] = bench_engines(n=64, sf=1.0, seed=42, reps=reps)
         report["engines"].update(bench_cjoin_chain(n=64, sf=1.0, seed=42, reps=reps))
         report["engines"].update(bench_columnar_pages(n=64, sf=1.0, seed=42, reps=reps))
+        report["engines"].update(bench_packed_storage(n=64, sf=1.0, seed=42, reps=reps))
         report["memory"] = memory_report(sf=1.0, seed=42)
         report["experiments"]["fig10_concurrency"] = bench_experiment(
             "fig10", lambda: fig10_concurrency(jobs=jobs), reps

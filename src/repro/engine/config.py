@@ -34,6 +34,8 @@ from repro.sim.fastpath import (  # noqa: F401  (re-exports)
     gqp_adaptive_ordering_default,
     gqp_filter_kernels_default,
     gqp_plane,
+    packed_storage_active,
+    packed_storage_default,
     set_gqp_plane,
 )
 
@@ -104,6 +106,14 @@ class EngineConfig:
     #: the columnar plane keeps identical, so like the other fast-path
     #: flags it never changes a simulated tick.
     columnar_pages: bool | None = None
+    #: packed column storage (None = follow the process-wide default):
+    #: tables hold typed ``array`` / dictionary-encoded column vectors
+    #: (see ``repro.storage.packed``) and selection runs on codes and
+    #: memoized predicate bitmaps.  The layout is decided when a table is
+    #: *built*, so this knob matters to dataset generation and the shard
+    #: partitioner rather than to per-engine execution; it rides along
+    #: here so sweeps and workers capture/replay one coherent flag set.
+    packed_storage: bool | None = None
     #: the adaptive GQP data plane (None = follow the process-wide default;
     #: see ``gqp_plane`` / ``set_gqp_plane``).  Unlike the fast-path flags,
     #: these *change simulated results* when enabled: ``gqp_adaptive_ordering``
@@ -131,6 +141,11 @@ class EngineConfig:
 
     def use_columnar_pages(self) -> bool:
         return columnar_pages_default() if self.columnar_pages is None else self.columnar_pages
+
+    def use_packed_storage(self) -> bool:
+        if self.packed_storage is None:
+            return packed_storage_default() and self.use_columnar_pages()
+        return self.packed_storage
 
     def use_gqp_adaptive_ordering(self) -> bool:
         if self.gqp_adaptive_ordering is None:

@@ -72,6 +72,7 @@ class FilteredInput:
         # Predicate shapes without a column form fall back to the row
         # kernel over the batch's materialized rows.
         self._col_kernel = None
+        self._mask_kernel = None
         if predicate is None:
             self._pred = None
             self._kernel = None
@@ -79,6 +80,7 @@ class FilteredInput:
             self._pred = None
             self._kernel = predicate.compile_batch(schema)
             self._col_kernel = predicate.compile_cols(schema)
+            self._mask_kernel = predicate.compile_mask(schema)
         else:
             pred = predicate.compile(schema)
             self._pred = pred
@@ -86,10 +88,25 @@ class FilteredInput:
 
     def _filter(self, batch) -> Any:
         """Apply the fused predicate to one non-empty batch (pure Python --
-        the caller charges the cycles)."""
-        ck = self._col_kernel
-        if ck is not None and isinstance(batch, ColumnBatch):
-            return batch.take(ck(batch.column, len(batch)))
+        the caller charges the cycles).
+
+        Dispatch order: bitmap kernel (dictionary-encoded page views --
+        per-column predicate masks are memoized, so recurring predicates
+        across concurrent queries AND cached ints), then selection-vector
+        column kernel, then the row kernel.  All three keep exactly the
+        same survivors in the same order."""
+        if isinstance(batch, ColumnBatch):
+            mk = self._mask_kernel
+            if mk is not None and batch.sel is None:
+                # Page view: columns are the base vectors (mask bit p ==
+                # base row p); selected batches gather their columns, so
+                # the mask probe would materialize them only to fall back.
+                m = mk(batch.column, len(batch))
+                if m is not None:
+                    return batch.take_mask(m)
+            ck = self._col_kernel
+            if ck is not None:
+                return batch.take(ck(batch.column, len(batch)))
         return Batch(self._kernel(batch.rows), batch.weight)
 
     def read(self) -> Iterator[Any]:

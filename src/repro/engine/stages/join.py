@@ -19,6 +19,7 @@ from repro.engine.exchange import END
 from repro.engine.packet import Packet
 from repro.engine.stage import Stage
 from repro.engine.stages.inputs import FilteredInput
+from repro.storage.packed import as_list
 from repro.storage.page import Batch, ColumnBatch
 
 
@@ -49,7 +50,10 @@ def probe_columnar(
     ``map(dict.get)`` pass over the key column plus ``is not None``
     comprehensions (one hash lookup per key, no per-row Python
     bytecode beyond the loops)."""
-    keys = batch.column(probe_key)
+    # Packed FK vectors decode once per page (memoized on the column) so
+    # the C-level dict probes below run over cached boxed keys instead of
+    # re-boxing array elements on every circular-scan revisit.
+    keys = as_list(batch.column(probe_key))
     src = batch.sel
     tails = batch.tail
     if single is not None:

@@ -28,6 +28,7 @@ from repro.sim.sync import Channel, Condition
 from repro.gqp.bitmap import SlotAllocator
 from repro.gqp.ordering import ChainOrderer
 from repro.query.expr import column_indices, row_key_fn
+from repro.storage.packed import as_list
 from repro.storage.page import Batch, ColumnBatch
 from repro.storage.prefetch import PageSource
 
@@ -690,7 +691,9 @@ class CJoinPipeline:
         if type(batch) is ColumnBatch and n == len(batch):
             # First filter of a columnar page: the FK keys come straight
             # off the page's column vector -- no per-row tuple access.
-            entries = list(map(flt.ht.get, batch.column(flt.fact_fk_idx)))
+            # Packed vectors decode once per page (memoized) so revisits
+            # probe cached boxed keys.
+            entries = list(map(flt.ht.get, as_list(batch.column(flt.fact_fk_idx))))
         else:
             entries = list(map(flt.ht.get, map(flt.fk_get, rows)))  # hoisted FK probe
         new_rows: list[tuple] = []

@@ -61,6 +61,7 @@ from repro.engine.config import (
     gqp_adaptive_ordering_default,
     gqp_filter_kernels_default,
     gqp_plane,
+    packed_storage_default,
 )
 from repro.sim.machine import PAPER_MACHINE, MachineSpec
 from repro.storage.manager import StorageConfig
@@ -76,11 +77,17 @@ __all__ = [
 ]
 
 
-def current_fast_flags() -> tuple[bool, bool, bool]:
-    """The parent's (batch_kernels, fuse_charges, columnar_pages) defaults,
-    captured into each spec so workers replay the parent's host-execution
-    mode -- including a ``REPRO_COLUMNAR=0`` row-mode parent."""
-    return (batch_kernels_default(), fuse_charges_default(), columnar_pages_default())
+def current_fast_flags() -> tuple[bool, bool, bool, bool]:
+    """The parent's (batch_kernels, fuse_charges, columnar_pages,
+    packed_storage) defaults, captured into each spec so workers replay
+    the parent's host-execution mode -- including a ``REPRO_COLUMNAR=0``
+    row-mode or ``REPRO_PACKED=0`` boxed-layout parent."""
+    return (
+        batch_kernels_default(),
+        fuse_charges_default(),
+        columnar_pages_default(),
+        packed_storage_default(),
+    )
 
 
 def current_gqp_flags() -> tuple[bool, bool]:
@@ -189,9 +196,11 @@ class CellSpec:
     mode: str = "batch"
     n_clients: int = 0
     duration: float = 0.0
-    #: (batch_kernels, fuse_charges, columnar_pages) captured in the parent
-    #: at enumeration time; workers re-apply them around the run.
-    fast_flags: tuple[bool, bool, bool] = field(default_factory=current_fast_flags)
+    #: (batch_kernels, fuse_charges, columnar_pages, packed_storage)
+    #: captured in the parent at enumeration time; workers re-apply them
+    #: around the run (dataset generation included -- table layout is
+    #: decided at build time).
+    fast_flags: tuple[bool, bool, bool, bool] = field(default_factory=current_fast_flags)
     #: (adaptive_ordering, filter_kernels) likewise -- engine configs with
     #: the GQP knobs at ``None`` resolve against these inside the worker.
     gqp_flags: tuple[bool, bool] = field(default_factory=current_gqp_flags)
@@ -230,12 +239,15 @@ def execute_cell(spec: CellSpec) -> CellResult:
     code path for serial and parallel execution: ``jobs=1`` calls it in
     the parent, ``jobs=N`` in workers -- same function, same results."""
     t0 = time.perf_counter()
-    dataset = spec.dataset.generate()
     flags = spec.fast_flags
     ctx = fast_path(*flags) if flags != current_fast_flags() else nullcontext()
     gflags = spec.gqp_flags
     gctx = gqp_plane(*gflags) if gflags != current_gqp_flags() else nullcontext()
     with ctx, gctx:
+        # Generate inside the flag context: the packed/columnar layout is
+        # baked into tables at build time, and the dataset memo is keyed
+        # by the effective layout flags (see repro.data.ssb).
+        dataset = spec.dataset.generate()
         if spec.mode == "batch":
             result: RunResult | ThroughputResult = run_batch(
                 dataset.tables,

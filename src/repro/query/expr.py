@@ -38,6 +38,27 @@ keep, in the same order (the property suite in ``tests/storage`` holds
 arbitrary schemas/predicates to that).  Shapes without a column form
 return ``None`` and the caller falls back to the row kernel.
 
+When a column arrives dictionary-encoded (``packed_storage`` fast path,
+see :mod:`repro.storage.packed`), the leaf kernels switch to
+predicate-on-dictionary evaluation: the predicate is applied once per
+*distinct value* into a 256-byte pass table memoized on the shared
+``Dictionary`` by the predicate's signature, then a full page filters
+with one C-level ``codes.translate`` + ``itertools.compress`` pass and a
+refinement pass indexes codes only.  Survivor positions and order are
+unchanged, so this is invisible to simulated results.
+
+Mask kernels
+------------
+``compile_mask(schema)`` returns ``(col_of, n) -> int bitmap | None``:
+the predicate's live mask over a full batch, built from per-column
+predicate bitmaps memoized on dictionary columns (``mask_for``).
+Conjunction/disjunction/negation become single-int ``&``/``|``/``^``
+operations, which also gives ``Or``/``Not`` a columnar form.  A kernel
+returns ``None`` at call time when some referenced column is not
+dictionary-encoded; callers then fall back to ``compile_cols`` /
+``compile_batch``.  Masks select exactly the positions row-wise
+evaluation keeps.
+
 The module also hosts the shared schema->column-index helpers
 (:func:`column_indices`, :func:`row_key_fn`, :func:`value_column`) that
 the aggregation stage, the CJOIN distributor and the consumer-side inputs
@@ -46,7 +67,10 @@ previously each rebuilt by hand."""
 from __future__ import annotations
 
 import operator
+from itertools import compress
 from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.storage.packed import DictColumn
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.storage.schema import Schema
@@ -109,12 +133,41 @@ _COL_CMP_SEL: dict[str, Callable[[Any], Callable]] = {
 }
 
 
-def _col_kernel(i: int, full: Callable, refine: Callable) -> Callable:
-    """Assemble a column kernel from a full-scan and a refinement pass."""
+def _col_kernel(
+    i: int, full: Callable, refine: Callable, key: Any, value_pred: Callable
+) -> Callable:
+    """Assemble a column kernel from a full-scan and a refinement pass.
+
+    ``key`` (the predicate's signature) and ``value_pred`` (a plain
+    ``value -> bool`` closure) power the dictionary fast path: when the
+    column arrives dictionary-encoded, the predicate is folded into a
+    pass table once per (table, predicate) and pages filter on raw code
+    bytes -- same survivors, same order."""
 
     def kernel(col_of: Callable, n: int, sel=None) -> list:
         c = col_of(i)
+        if type(c) is DictColumn:
+            table = c.dictionary.pass_table(key, value_pred)
+            codes = c.codes
+            if sel is None:
+                return list(compress(range(n), codes.translate(table)))
+            return [j for j in sel if table[codes[j]]]
         return full(c) if sel is None else refine(c, sel)
+
+    return kernel
+
+
+def _mask_kernel(i: int, key: Any, value_pred: Callable) -> Callable:
+    """A leaf mask kernel: the predicate's bitmap over a full batch,
+    memoized per dictionary column by predicate signature.  Returns
+    ``None`` at call time for non-dictionary columns (caller falls back
+    to selection-vector kernels)."""
+
+    def kernel(col_of: Callable, n: int) -> int | None:
+        c = col_of(i)
+        if type(c) is DictColumn:
+            return c.mask_for(key, value_pred)
+        return None
 
     return kernel
 
@@ -189,6 +242,13 @@ class Expr:
         """Column selection kernel (see module docstring), or ``None`` when
         this shape has no column form and the caller must fall back to the
         row kernel."""
+        return None
+
+    def compile_mask(self, schema: "Schema") -> Callable | None:
+        """Mask kernel ``(col_of, n) -> int bitmap | None`` (see module
+        docstring), or ``None`` when this shape has no mask form.  The
+        kernel itself returns ``None`` at call time when a referenced
+        column is not dictionary-encoded."""
         return None
 
     @property
@@ -288,6 +348,11 @@ class Cmp(Expr):
             return factory(schema.index(self.left.name), self.right.value)
         return super().compile_batch(schema, indices)
 
+    def _value_pred(self) -> Callable[[Any], bool]:
+        f = _CMP_OPS[self.op]
+        v = self.right.value  # type: ignore[union-attr]
+        return lambda x: f(x, v)
+
     def compile_cols(self, schema: "Schema") -> Callable | None:
         if isinstance(self.left, Col) and isinstance(self.right, Const):
             v = self.right.value
@@ -295,6 +360,15 @@ class Cmp(Expr):
                 schema.index(self.left.name),
                 _COL_CMP_FULL[self.op](v),
                 _COL_CMP_SEL[self.op](v),
+                self.signature,
+                self._value_pred(),
+            )
+        return None
+
+    def compile_mask(self, schema: "Schema") -> Callable | None:
+        if isinstance(self.left, Col) and isinstance(self.right, Const):
+            return _mask_kernel(
+                schema.index(self.left.name), self.signature, self._value_pred()
             )
         return None
 
@@ -336,6 +410,14 @@ class Between(Expr):
             schema.index(self.col),
             lambda c: [j for j, x in enumerate(c) if lo <= x <= hi],
             lambda c, sel: [j for j in sel if lo <= c[j] <= hi],
+            self.signature,
+            lambda x: lo <= x <= hi,
+        )
+
+    def compile_mask(self, schema: "Schema") -> Callable | None:
+        lo, hi = self.lo, self.hi
+        return _mask_kernel(
+            schema.index(self.col), self.signature, lambda x: lo <= x <= hi
         )
 
     @property
@@ -382,7 +464,13 @@ class InSet(Expr):
             schema.index(self.col),
             lambda c: [j for j, x in enumerate(c) if x in vals],
             lambda c, sel: [j for j in sel if c[j] in vals],
+            self.signature,
+            lambda x: x in vals,
         )
+
+    def compile_mask(self, schema: "Schema") -> Callable | None:
+        vals = frozenset(self.values)
+        return _mask_kernel(schema.index(self.col), self.signature, lambda x: x in vals)
 
     @property
     def signature(self) -> tuple:
@@ -463,6 +551,30 @@ class And(Expr):
 
         return kernel
 
+    def compile_mask(self, schema: "Schema") -> Callable | None:
+        """Conjunction mask kernel: AND the parts' memoized bitmaps --
+        one int ``&`` per part instead of a selection cascade."""
+        kernels = [p.compile_mask(schema) for p in self.parts]
+        if any(k is None for k in kernels):
+            return None
+        if len(kernels) == 1:
+            return kernels[0]
+
+        def kernel(col_of: Callable, n: int) -> int | None:
+            m = kernels[0](col_of, n)
+            if m is None:
+                return None
+            for k in kernels[1:]:
+                if not m:
+                    return 0
+                part = k(col_of, n)
+                if part is None:
+                    return None
+                m &= part
+            return m
+
+        return kernel
+
     @property
     def signature(self) -> tuple:
         return ("and",) + tuple(p.signature for p in self.parts)
@@ -494,6 +606,26 @@ class Or(Expr):
             return fns[0]
         return lambda row: any(f(row) for f in fns)
 
+    def compile_mask(self, schema: "Schema") -> Callable | None:
+        """Disjunction mask kernel: OR the parts' memoized bitmaps --
+        the first columnar form disjunctions have had."""
+        kernels = [p.compile_mask(schema) for p in self.parts]
+        if any(k is None for k in kernels):
+            return None
+        if len(kernels) == 1:
+            return kernels[0]
+
+        def kernel(col_of: Callable, n: int) -> int | None:
+            m = 0
+            for k in kernels:
+                part = k(col_of, n)
+                if part is None:
+                    return None
+                m |= part
+            return m
+
+        return kernel
+
     @property
     def signature(self) -> tuple:
         return ("or",) + tuple(p.signature for p in self.parts)
@@ -520,6 +652,20 @@ class Not(Expr):
     def compile(self, schema: "Schema") -> Callable[[tuple], bool]:
         f = self.part.compile(schema)
         return lambda row: not f(row)
+
+    def compile_mask(self, schema: "Schema") -> Callable | None:
+        """Negation mask kernel: complement within the batch's n bits."""
+        inner = self.part.compile_mask(schema)
+        if inner is None:
+            return None
+
+        def kernel(col_of: Callable, n: int) -> int | None:
+            m = inner(col_of, n)
+            if m is None:
+                return None
+            return ((1 << n) - 1) ^ m
+
+        return kernel
 
     @property
     def signature(self) -> tuple:

@@ -42,6 +42,14 @@ class ShardServiceMetrics(ServiceMetrics):
     #: peak per-shard backlog (virtual seconds of queued shard work)
     #: observed at any dispatch -- the shard tier's pressure gauge
     peak_shard_backlog_s: float = 0.0
+    #: per-shard partition-build accounting from the spawn handshake --
+    #: rows, pages and *shipped* bytes (zero-copy range views of packed
+    #: buffers ship nothing; hash gathers ship full buffers; see
+    #: :func:`repro.shard.partition.partition_shipping`)
+    partition_shipping: dict[int, dict[str, int]] = field(default_factory=dict)
+    #: virtual seconds of start-up scatter charged onto shard backlogs
+    #: (per-page placement + per-shipped-byte copy via the cost model)
+    prewarm_scatter_s: float = 0.0
     #: queries retried after a worker crash (and then gathered normally)
     shard_retries: int = 0
     #: worker processes (re)spawned after a crash or a timeout kill
@@ -63,6 +71,12 @@ class ShardServiceMetrics(ServiceMetrics):
     def record_overhead(self, scatter_s: float, gather_s: float) -> None:
         self.scatter_overhead_s += scatter_s
         self.gather_overhead_s += gather_s
+
+    def record_partition_shipping(
+        self, shard_id: int, shipping: dict[str, int], prewarm_s: float
+    ) -> None:
+        self.partition_shipping[shard_id] = dict(shipping)
+        self.prewarm_scatter_s += prewarm_s
 
     def record_pressure(self, backlog_s: float) -> None:
         if backlog_s > self.peak_shard_backlog_s:
@@ -90,6 +104,10 @@ class ShardServiceMetrics(ServiceMetrics):
             "stragglers": {f"shard{i}": n for i, n in sorted(self.straggler_counts.items())},
             "scatter_overhead_s": self.scatter_overhead_s,
             "gather_overhead_s": self.gather_overhead_s,
+            "partition_shipping": {
+                f"shard{i}": dict(s) for i, s in sorted(self.partition_shipping.items())
+            },
+            "prewarm_scatter_s": self.prewarm_scatter_s,
             "peak_backlog_s": self.peak_shard_backlog_s,
             "retries": self.shard_retries,
             "respawns": self.shard_respawns,

@@ -24,9 +24,16 @@ from __future__ import annotations
 import zlib
 
 from repro.sim.fastpath import columnar_pages_default
+from repro.storage import packed as packedmod
 from repro.storage.table import Table
 
-__all__ = ["PARTITION_MODES", "assign_shards", "partition_table", "shard_tables"]
+__all__ = [
+    "PARTITION_MODES",
+    "assign_shards",
+    "partition_shipping",
+    "partition_table",
+    "shard_tables",
+]
 
 #: CLI-selectable placement modes.
 PARTITION_MODES = ("hash", "range")
@@ -86,7 +93,14 @@ def partition_table(
             for i, shard in enumerate(assignment):
                 index[shard].append(i)
             for idx in index:
-                builds.append(tuple(list(map(col.__getitem__, idx)) for col in cols))
+                # gather_column keeps packed layouts packed: dictionary
+                # columns gather their byte codes (sharing the value
+                # table), typed arrays gather into typed arrays -- the
+                # shard inherits the parent's representation instead of
+                # falling back to boxed lists.
+                builds.append(
+                    tuple(packedmod.gather_column(col, idx) for col in cols)
+                )
         else:
             raise ValueError(
                 f"unknown partition mode {mode!r} (choose from: {', '.join(PARTITION_MODES)})"
@@ -115,6 +129,51 @@ def partition_table(
         )
         for rows in buckets
     ]
+
+
+def partition_shipping(shard: Table) -> dict[str, int]:
+    """What building this shard's fact partition actually *shipped*:
+    ``{"rows", "pages", "shipped_bytes"}``.
+
+    Packed buffers make byte counts real, so the accounting inspects the
+    shard's live column representations instead of assuming a layout:
+
+    * ``PackedNumeric`` backed by a ``memoryview`` -- a zero-copy range
+      slice into the parent's buffer: **0 bytes shipped**;
+    * ``PackedNumeric`` owning its array -- a hash gather: the full
+      buffer was copied;
+    * ``DictColumn`` -- the code bytes were copied (slice or gather),
+      the dictionary value table stays shared: ``len(codes)`` bytes;
+    * boxed column vectors -- one machine-word reference per cell;
+    * row-built shards (columnar plane off) -- one reference per row
+      (the tuples themselves are shared with the parent table).
+
+    The scatter-cost model charges these bytes (plus a per-page term) on
+    each shard's virtual timeline at service start-up; see
+    :class:`repro.shard.service.ShardService`."""
+    word = 8  # CPython reference width on every supported platform
+    cols = shard._cols
+    if cols is None:
+        return {
+            "rows": shard.num_rows,
+            "pages": shard.num_pages,
+            "shipped_bytes": word * shard.num_rows,
+        }
+    shipped = 0
+    for col in cols:
+        t = type(col)
+        if t is packedmod.PackedNumeric:
+            if type(col.data) is not memoryview:
+                shipped += col.nbytes
+        elif t is packedmod.DictColumn:
+            shipped += len(col.codes)
+        else:
+            shipped += word * len(col)
+    return {
+        "rows": shard.num_rows,
+        "pages": shard.num_pages,
+        "shipped_bytes": shipped,
+    }
 
 
 def shard_tables(

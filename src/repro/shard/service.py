@@ -57,6 +57,7 @@ from repro.server.service import job_factory
 from repro.shard.metrics import ShardServiceMetrics
 from repro.shard.spec import ShardConfig, ShardRequest, ShardResponse
 from repro.shard.worker import shard_worker_main
+from repro.sim.costmodel import DEFAULT_COST_MODEL
 
 __all__ = ["MergedResult", "ShardReport", "ShardService", "serve_sharded"]
 
@@ -135,18 +136,36 @@ class ShardService:
             for h in self.workers:
                 h.start()
                 started += 1
-            for h in self.workers:
-                self._await_ready(h)
+            shippings = [self._await_ready(h) for h in self.workers]
         except BaseException:
             for h in self.workers[:started]:
                 h.kill()
             raise
+        # Scatter-cost model: each worker reported what building its fact
+        # partition actually shipped (packed buffers make the byte counts
+        # real -- zero-copy range views ship nothing, hash gathers ship
+        # full buffers).  Charge per-page + per-byte cycles onto each
+        # shard's virtual timeline at t=0, so the first queries queue
+        # behind the scatter; fingerprints are timing-independent, only
+        # latency accounting moves.
+        hz = config.machine.hz
+        for i, ship in enumerate(shippings):
+            prewarm_s = (
+                DEFAULT_COST_MODEL.scatter_cycles(ship["pages"], ship["shipped_bytes"]) / hz
+            )
+            # Advance the horizon directly: the prewarm is not a query
+            # service sample, so it must not seed the EWMA predictor.
+            self.backlog.horizon[i] = prewarm_s
+            self.metrics.record_partition_shipping(i, ship, prewarm_s)
 
     # -- lifecycle -------------------------------------------------------
-    def _await_ready(self, handle: WorkerHandle) -> None:
+    def _await_ready(self, handle: WorkerHandle) -> dict:
+        """Wait for one worker's spawn handshake; return its partition-
+        shipping accounting (rows / pages / shipped bytes)."""
         msg = handle.recv(timeout=self.spawn_timeout_s)
-        if not (isinstance(msg, tuple) and len(msg) == 3 and msg[0] == "ready"):
+        if not (isinstance(msg, tuple) and len(msg) == 4 and msg[0] == "ready"):
             raise RuntimeError(f"{handle.name}: bad handshake {msg!r}")
+        return msg[3]
 
     def _respawn(self, handle: WorkerHandle) -> None:
         handle.respawn()
@@ -425,6 +444,11 @@ class ShardReport:
             ["queue wait p95 (s)", f"{qw['p95']:.3f}"],
             ["scatter overhead (s)", f"{m.scatter_overhead_s:.4f}"],
             ["gather overhead (s)", f"{m.gather_overhead_s:.4f}"],
+            [
+                "partition shipped (bytes)",
+                sum(s["shipped_bytes"] for s in m.partition_shipping.values()),
+            ],
+            ["prewarm scatter (s)", f"{m.prewarm_scatter_s:.4f}"],
             ["peak shard backlog (s)", f"{m.peak_shard_backlog_s:.3f}"],
             ["retries / respawns / timeouts", f"{m.shard_retries} / {m.shard_respawns} / {m.shard_timeouts}"],
         ]

@@ -51,7 +51,7 @@ class ShardConfig:
     machine: MachineSpec = PAPER_MACHINE
     #: host fast-path / GQP-plane flags captured at construction in the
     #: parent (same mechanism as CellSpec: workers replay the parent mode)
-    fast_flags: tuple[bool, bool, bool] = field(default_factory=current_fast_flags)
+    fast_flags: tuple[bool, bool, bool, bool] = field(default_factory=current_fast_flags)
     gqp_flags: tuple[bool, bool] = field(default_factory=current_gqp_flags)
     #: wall-clock seconds the gather waits per shard before declaring the
     #: worker stuck (kill + respawn, no retry)

@@ -4,7 +4,9 @@ Entry point for :class:`~repro.parallel.workers.WorkerHandle`.  At spawn
 the worker builds its shard view of the database -- dataset regenerated
 from the spec (a copy-on-write hit under fork, thanks to the parent's
 prewarm), fact table partitioned by the pure placement function -- sends a
-``("ready", shard_id, fact_rows)`` handshake, then serves
+``("ready", shard_id, fact_rows, shipping)`` handshake (``shipping`` is
+the partition-build accounting the front end's scatter-cost model
+charges, see :func:`repro.shard.partition.partition_shipping`), then serves
 :class:`~repro.shard.spec.ShardRequest` messages FIFO until the pipe
 closes.
 
@@ -33,7 +35,7 @@ from repro.engine.qpipe import QPipeEngine
 from repro.parallel.cells import current_fast_flags, current_gqp_flags
 from repro.query.merge import PartialAggregator
 from repro.query.star import StarQuerySpec
-from repro.shard.partition import shard_tables
+from repro.shard.partition import partition_shipping, shard_tables
 from repro.shard.spec import ShardConfig, ShardRequest, ShardResponse
 from repro.sim.costmodel import DEFAULT_COST_MODEL
 from repro.sim.engine import Simulator
@@ -71,23 +73,30 @@ def execute_shard_query(
 
 def shard_worker_main(conn: Any, shard_id: int, config: ShardConfig) -> None:
     """Process entry point: build the shard, handshake, serve requests."""
-    dataset = config.dataset.generate()
-    tables = shard_tables(
-        dataset.tables,
-        config.fact_table,
-        shard_id,
-        config.n_shards,
-        config.partition,
-        config.partition_salt,
-        columnar=config.fast_flags[2],
-    )
-    fact_rows = tables[config.fact_table].num_rows
     flags = config.fast_flags
     ctx = fast_path(*flags) if flags != current_fast_flags() else nullcontext()
     gflags = config.gqp_flags
     gctx = gqp_plane(*gflags) if gflags != current_gqp_flags() else nullcontext()
-    conn.send(("ready", shard_id, fact_rows))
     with ctx, gctx:
+        # Build inside the flag context: the packed/columnar layout is
+        # baked into tables at generation time, so a worker replaying a
+        # parent whose mode differs from this process's env defaults must
+        # regenerate under the parent's flags (the dataset memo is keyed
+        # by the effective layout, so the COW prewarm hit survives the
+        # common flags-match case).
+        dataset = config.dataset.generate()
+        tables = shard_tables(
+            dataset.tables,
+            config.fact_table,
+            shard_id,
+            config.n_shards,
+            config.partition,
+            config.partition_salt,
+            columnar=config.fast_flags[2],
+        )
+        fact = tables[config.fact_table]
+        fact_rows = fact.num_rows
+        conn.send(("ready", shard_id, fact_rows, partition_shipping(fact)))
         while True:
             try:
                 req: ShardRequest | None = conn.recv()

@@ -94,6 +94,15 @@ class CostModel:
     #: copying one produced page into the cache store (fill consumer)
     cache_store_page: float = 10_000.0
 
+    # ---- shard scatter (repro.shard) ------------------------------------
+    #: per-page bookkeeping of placing one fact page on a shard at
+    #: start-up (placement computation + page metadata)
+    scatter_page: float = 25_000.0
+    #: per *shipped* byte of building a shard's fact partition -- zero for
+    #: zero-copy range views of packed buffers, real buffer bytes for hash
+    #: gathers (see :func:`repro.shard.partition.partition_shipping`)
+    scatter_byte: float = 2.0
+
     # ---- packet / plan management --------------------------------------
     packet_dispatch: float = 400_000.0  # per packet: create+queue+teardown (cycles)
 
@@ -226,6 +235,15 @@ class CostModel:
         if cmd is None:
             cmd = memo[key] = CPU(self.preprocessor_tuple * n * weight, "scans")
         return cmd
+
+    def scatter_cycles(self, pages: float, shipped_bytes: float) -> float:
+        """Cycles to materialize one shard's fact partition: per-page
+        placement bookkeeping plus per-byte copy cost for whatever the
+        partition build actually shipped.  Returned as a raw cycle count
+        (not a :class:`CpuCommand`): the shard tier charges it on the
+        front end's *virtual timeline* (via the shard backlog), not
+        through a simulator."""
+        return self.scatter_page * pages + self.scatter_byte * shipped_bytes
 
     def reorder(self, n_filters: float) -> CpuCommand:
         memo = self._memo

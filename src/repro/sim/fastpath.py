@@ -14,13 +14,23 @@ switchboard:
   batches, and the data plane runs late-materialized (selection vectors,
   column kernels, join tails) until an emit point forces row tuples.
   Charges are computed from row *counts*, which the columnar plane keeps
-  identical, so simulated results are bit-identical either way.
+  identical, so simulated results are bit-identical either way;
+* ``packed_storage`` -- tables build their column vectors *packed*
+  (:mod:`repro.storage.packed`): typed ``array`` buffers for numeric
+  kinds, dictionary-encoded codes for low-cardinality columns, shared
+  zero-copy by pages and shard partitions, with predicate-on-dictionary
+  selection kernels and memoized per-page predicate bitmaps.  Only
+  meaningful under ``columnar_pages`` (packing decides how column
+  vectors are *stored*; the columnar plane decides whether they are
+  *used*), so :func:`packed_storage_active` ANDs the two.  Like the
+  other fast-path flags it never changes a simulated tick.
 
-All default on; ``fast_path(False, False, False)`` restores the
+All default on; ``fast_path(False, False, False, False)`` restores the
 row-at-a-time "before" behavior for benchmarking and for the golden
 determinism tests, which hold the modes to *bit-identical* simulated
-results.  ``REPRO_COLUMNAR=0`` seeds the columnar default off at import
-time (spawned benchmark/worker processes inherit the parent's choice).
+results.  ``REPRO_COLUMNAR=0`` / ``REPRO_PACKED=0`` seed the columnar /
+packed defaults off at import time (spawned benchmark/worker processes
+inherit the parent's choice).
 
 A second switchboard carries the process-wide defaults of the **adaptive
 GQP data plane** (:mod:`repro.gqp.ordering`):
@@ -52,6 +62,7 @@ _FAST_PATH = {
     "batch_kernels": True,
     "fuse_charges": True,
     "columnar_pages": os.environ.get("REPRO_COLUMNAR", "1") not in ("0", "false"),
+    "packed_storage": os.environ.get("REPRO_PACKED", "1") not in ("0", "false"),
 }
 
 _GQP_PLANE = {
@@ -75,22 +86,38 @@ def columnar_pages_default() -> bool:
     return _FAST_PATH["columnar_pages"]
 
 
+def packed_storage_default() -> bool:
+    """Process-wide default for packed (typed/dictionary) column vectors."""
+    return _FAST_PATH["packed_storage"]
+
+
+def packed_storage_active() -> bool:
+    """Whether tables should build packed column vectors *right now*:
+    packed storage only pays off when the columnar plane consumes it, so
+    the packed flag is effective only under ``columnar_pages``."""
+    return _FAST_PATH["packed_storage"] and _FAST_PATH["columnar_pages"]
+
+
 @contextlib.contextmanager
 def fast_path(
     batch_kernels: bool = True,
     fuse_charges: bool = True,
     columnar_pages: bool | None = None,
+    packed_storage: bool | None = None,
 ):
     """Temporarily override the fast-path defaults (benchmarking/tests).
 
     ``columnar_pages=None`` follows ``batch_kernels`` -- the historical
     two-argument calls ``fast_path(False, False)`` / ``fast_path(True,
-    True)`` keep meaning "everything off" / "everything on"."""
+    True)`` keep meaning "everything off" / "everything on" -- and
+    ``packed_storage=None`` follows the resolved ``columnar_pages``."""
     saved = dict(_FAST_PATH)
     _FAST_PATH["batch_kernels"] = batch_kernels
     _FAST_PATH["fuse_charges"] = fuse_charges
-    _FAST_PATH["columnar_pages"] = (
-        batch_kernels if columnar_pages is None else columnar_pages
+    columnar = batch_kernels if columnar_pages is None else columnar_pages
+    _FAST_PATH["columnar_pages"] = columnar
+    _FAST_PATH["packed_storage"] = (
+        columnar if packed_storage is None else packed_storage
     )
     try:
         yield

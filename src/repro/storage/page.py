@@ -68,9 +68,29 @@ def sel_to_mask(sel: Sequence[int]) -> int:
     return mask
 
 
+#: Set-bit offsets within one byte, for byte-at-a-time mask decoding.
+_BYTE_SEL: tuple[tuple[int, ...], ...] = tuple(
+    tuple(j for j in range(8) if b >> j & 1) for b in range(256)
+)
+
+
 def mask_to_sel(mask: int, n: int) -> list[int]:
-    """The ascending positions of set bits among the low ``n`` bits."""
-    return [j for j in range(n) if mask >> j & 1]
+    """The ascending positions of set bits among the low ``n`` bits.
+
+    Decodes a byte at a time through a 256-entry offset table instead of
+    probing all ``n`` bit positions -- sparse masks (selective
+    predicates) cost proportional to survivors, not page size."""
+    mask &= (1 << n) - 1
+    out: list[int] = []
+    base = 0
+    table = _BYTE_SEL
+    while mask:
+        b = mask & 0xFF
+        if b:
+            out += [base + j for j in table[b]]
+        mask >>= 8
+        base += 8
+    return out
 
 
 class ColumnPage:
@@ -286,6 +306,13 @@ class ColumnBatch:
         tail = self.tail
         new_tail = None if tail is None else [tail[p] for p in positions]
         return ColumnBatch(self.cols, new_sel, self.weight, new_tail, self.meta)
+
+    def take_mask(self, mask: int) -> "ColumnBatch":
+        """The sub-batch whose logical positions are the set bits of
+        ``mask`` (bit ``p`` = logical row ``p``) -- the bitmap-native
+        selection path mask kernels feed (equivalent to ``take`` of the
+        mask's ascending positions)."""
+        return self.take(mask_to_sel(mask, len(self)))
 
     @property
     def rows(self) -> Sequence[tuple]:

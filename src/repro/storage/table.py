@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Sequence
 
+from repro.sim.fastpath import packed_storage_active
+from repro.storage import packed as packedmod
 from repro.storage.page import Page
 from repro.storage.schema import Schema
 
@@ -35,6 +37,7 @@ class Table:
         rows: Sequence[tuple],
         row_weight: float = 1.0,
         tuples_per_page: int = TUPLES_PER_PAGE,
+        packed: bool | None = None,
     ):
         if row_weight <= 0:
             raise ValueError("row_weight must be positive")
@@ -52,17 +55,40 @@ class Table:
         self.pages: list[Page] = []
         self._cols: tuple[Sequence[Any], ...] | None = None
         rows = list(rows)
-        for start in range(0, len(rows), tuples_per_page):
-            chunk = rows[start : start + tuples_per_page]
-            self.pages.append(
-                Page(
-                    table_name=name,
-                    index=len(self.pages),
-                    rows=chunk,
-                    weight=self.row_weight,
-                    real_bytes=len(chunk) * self.row_weight * schema.row_bytes,
-                )
+        if packed is None:
+            packed = packed_storage_active()
+        if packed and rows and len(schema):
+            # Pack once at load: whole-table typed/dictionary vectors;
+            # pages hold zero-copy slices (memoryview for arrays, shared
+            # value tables for dictionary codes).  Row tuples decode
+            # lazily through the page cache when a row consumer asks.
+            self._cols = packedmod.pack_columns(
+                [list(c) for c in zip(*rows)], schema
             )
+            for start in range(0, len(rows), tuples_per_page):
+                end = min(start + tuples_per_page, len(rows))
+                self.pages.append(
+                    Page(
+                        table_name=name,
+                        index=len(self.pages),
+                        rows=None,
+                        weight=self.row_weight,
+                        real_bytes=(end - start) * self.row_weight * schema.row_bytes,
+                        columns=tuple(col[start:end] for col in self._cols),
+                    )
+                )
+        else:
+            for start in range(0, len(rows), tuples_per_page):
+                chunk = rows[start : start + tuples_per_page]
+                self.pages.append(
+                    Page(
+                        table_name=name,
+                        index=len(self.pages),
+                        rows=chunk,
+                        weight=self.row_weight,
+                        real_bytes=len(chunk) * self.row_weight * schema.row_bytes,
+                    )
+                )
         self.num_rows = len(rows)
 
     # ------------------------------------------------------------------
@@ -74,12 +100,16 @@ class Table:
         columns: Sequence[Sequence[Any]],
         row_weight: float = 1.0,
         tuples_per_page: int = TUPLES_PER_PAGE,
+        packed: bool | None = None,
     ) -> "Table":
         """Build a table from per-column vectors without materializing row
         tuples.  Pages slice the vectors (a C-level operation per column
-        per page); page structure, weights and byte accounting are
-        identical to the row constructor's, so simulated charges do not
-        depend on which way a table was built."""
+        per page -- zero-copy ``memoryview`` slices for packed arrays);
+        page structure, weights and byte accounting are identical to the
+        row constructor's, so simulated charges do not depend on which
+        way a table was built.  Already-packed input vectors (shard
+        partitions slicing/gathering a packed parent) are kept as-is;
+        plain vectors are packed when the packed fast path is active."""
         if len(columns) != len(schema):
             raise ValueError(
                 f"column count {len(columns)} does not match schema arity {len(schema)}"
@@ -98,6 +128,10 @@ class Table:
         for col in columns:
             if len(col) != n:
                 raise ValueError("ragged columns")
+        if packed is None:
+            packed = packed_storage_active()
+        if packed:
+            columns = packedmod.pack_columns(columns, schema)
         table._cols = tuple(columns)
         for start in range(0, n, tuples_per_page):
             end = min(start + tuples_per_page, n)
@@ -158,32 +192,26 @@ class Table:
 
     # ------------------------------------------------------------------
     def packed_columns(self) -> list[Any]:
-        """The columns packed tight: ``array.array`` for numeric kinds
-        (8 bytes per value, no per-element boxing), plain object lists for
-        strings.  Used for the memory-footprint report; falls back to a
-        list for values outside the machine-int range."""
-        import array
+        """The columns in their tightest faithful representation (see
+        :func:`repro.storage.packed.pack_column`): dictionary codes for
+        low-cardinality columns, ``array`` buffers for numeric kinds,
+        boxed lists only as the fallback.  When the table was built with
+        packed storage on, this *is* the live hot-path representation;
+        otherwise it is computed on the fly for the memory report."""
+        return [
+            packedmod.pack_column(col, cd.kind)
+            for col, cd in zip(self.columns(), self.schema.columns)
+        ]
 
-        out: list[Any] = []
-        for col_def, col in zip(self.schema.columns, self.columns()):
-            if col_def.kind == "int":
-                try:
-                    out.append(array.array("q", col))
-                    continue
-                except (OverflowError, TypeError):  # pragma: no cover - huge ints
-                    pass
-            elif col_def.kind == "float":
-                out.append(array.array("d", col))
-                continue
-            out.append(list(col))
-        return out
-
-    def memory_footprint(self) -> dict[str, int]:
+    def memory_footprint(self) -> dict[str, Any]:
         """Resident bytes of the two layouts: ``rows_bytes`` counts the
         per-row tuple objects plus boxed numeric elements (what a tuple
-        forest keeps alive), ``columns_bytes`` counts the array-packed
-        numeric columns plus object lists for strings.  String payloads
-        are excluded from both (shared references either way)."""
+        forest keeps alive); ``columns_bytes`` counts the packed columns
+        *honestly* -- array buffers, dictionary code bytes, value tables
+        and their boxed numeric entries, not just the outer containers.
+        String payloads are excluded from both (shared references either
+        way).  ``column_layouts`` breaks the packed side down by
+        representation."""
         import sys
 
         numeric = tuple(c.kind in ("int", "float") for c in self.schema.columns)
@@ -196,8 +224,22 @@ class Table:
                 for v, is_num in zip(r, numeric):
                     if is_num:
                         rows_bytes += sys.getsizeof(v)
-        columns_bytes = sum(sys.getsizeof(col) for col in self.packed_columns())
-        return {"rows_bytes": rows_bytes, "columns_bytes": columns_bytes}
+        layouts = {"dict": 0, "array": 0, "boxed": 0}
+        columns_bytes = 0
+        for col, cd in zip(self.packed_columns(), self.schema.columns):
+            columns_bytes += packedmod.column_nbytes(col, cd.kind)
+            t = type(col)
+            if t is packedmod.DictColumn:
+                layouts["dict"] += 1
+            elif t is packedmod.PackedNumeric:
+                layouts["array"] += 1
+            else:
+                layouts["boxed"] += 1
+        return {
+            "rows_bytes": rows_bytes,
+            "columns_bytes": columns_bytes,
+            "column_layouts": layouts,
+        }
 
     def __len__(self) -> int:
         return self.num_rows

@@ -44,24 +44,21 @@ def ssb():
     return generate_ssb(0.5, seed=21)
 
 
-def run_mix(
-    ssb, config_key: str, *, batch: bool, fuse: bool, columnar: bool | None = None
-) -> dict:
-    """One seeded 6-query Q3.2 mix; returns a JSON-safe measurement dict.
-    ``columnar=None`` follows ``batch`` (the fast_path default)."""
-    with fast_path(batch_kernels=batch, fuse_charges=fuse, columnar_pages=columnar):
-        sim = Simulator(MACHINE)
-        storage = StorageManager(
-            sim, DEFAULT_COST_MODEL, ssb.tables, StorageConfig(resident="memory")
-        )
-        config = CONFIGS[config_key]
-        if config == "postgres":
-            engine = VolcanoEngine(sim, storage, DEFAULT_COST_MODEL)
-        else:
-            engine = QPipeEngine(sim, storage, config)
-        rng = make_rng(77, "golden", config_key)
-        handles = [engine.submit(random_q32(rng)) for _ in range(6)]
-        sim.run()
+def _run_mix_inner(ssb, config_key: str) -> dict:
+    """One seeded 6-query Q3.2 mix under the *current* process flags;
+    returns a JSON-safe measurement dict."""
+    sim = Simulator(MACHINE)
+    storage = StorageManager(
+        sim, DEFAULT_COST_MODEL, ssb.tables, StorageConfig(resident="memory")
+    )
+    config = CONFIGS[config_key]
+    if config == "postgres":
+        engine = VolcanoEngine(sim, storage, DEFAULT_COST_MODEL)
+    else:
+        engine = QPipeEngine(sim, storage, config)
+    rng = make_rng(77, "golden", config_key)
+    handles = [engine.submit(random_q32(rng)) for _ in range(6)]
+    sim.run()
     times = sorted(h.response_time for h in handles)
     n = len(times)
     return {
@@ -72,6 +69,15 @@ def run_mix(
         "p99": times[int(0.99 * (n - 1))],
         "metrics": sim.metrics.to_dict(),
     }
+
+
+def run_mix(
+    ssb, config_key: str, *, batch: bool, fuse: bool, columnar: bool | None = None
+) -> dict:
+    """:func:`_run_mix_inner` under a ``fast_path`` context.
+    ``columnar=None`` follows ``batch`` (the fast_path default)."""
+    with fast_path(batch_kernels=batch, fuse_charges=fuse, columnar_pages=columnar):
+        return _run_mix_inner(ssb, config_key)
 
 
 @pytest.mark.parametrize("config_key", list(CONFIGS), ids=list(CONFIGS))
@@ -100,6 +106,28 @@ def test_columnar_plane_is_bit_identical(ssb, config_key):
     assert cols == rows
 
 
+@pytest.mark.parametrize("config_key", list(CONFIGS), ids=list(CONFIGS))
+def test_packed_storage_is_bit_identical(config_key):
+    """Packed vectors (typed arrays + dictionary codes) change only how
+    column values are *stored*.  Every kernel -- dictionary pass tables,
+    memoized predicate masks, typed-array decodes -- keeps the same
+    survivors in the same order and decodes the exact original values, so
+    the full metrics view must match bitwise against boxed vectors.  The
+    dataset is regenerated inside each context: layout is baked in at
+    table build time (the memo is keyed by the effective flag)."""
+    results = []
+    for packed in (False, True):
+        with fast_path(
+            batch_kernels=True,
+            fuse_charges=True,
+            columnar_pages=True,
+            packed_storage=packed,
+        ):
+            data = generate_ssb(0.5, seed=21)
+            results.append(_run_mix_inner(data, config_key))
+    assert results[0] == results[1]  # bitwise: == on floats
+
+
 @pytest.mark.parametrize("mode", ["hash", "range"])
 def test_shard_fingerprints_identical_row_vs_columnar_partitioning(ssb, mode):
     """Zero-copy shard partitions (column slices / gathers through
@@ -123,6 +151,40 @@ def test_shard_fingerprints_identical_row_vs_columnar_partitioning(ssb, mode):
             state, svc = execute_shard_query(view, spec, config)
             fingerprints.append((state, svc))
         assert fingerprints[0] == fingerprints[1]  # bitwise: == on floats
+
+
+@pytest.mark.parametrize("mode", ["hash", "range"])
+def test_shard_fingerprints_identical_packed_vs_boxed(mode):
+    """Packed shard partitions -- zero-copy ``memoryview`` range slices
+    and single-pass code/array gathers -- must be indistinguishable from
+    boxed-list partitions to a shard engine: identical partial-aggregate
+    state and identical simulated service time on every shard, for either
+    placement mode."""
+    from repro.parallel.cells import DatasetSpec
+    from repro.query.ssb_queries import q32
+    from repro.shard.partition import shard_tables
+    from repro.shard.spec import ShardConfig
+    from repro.shard.worker import execute_shard_query
+
+    spec = q32("CHINA", "FRANCE", 1993, 1996)
+    config = ShardConfig(n_shards=2, dataset=DatasetSpec("ssb", 0.5, 21))
+    outcomes = []
+    for packed in (False, True):
+        with fast_path(
+            batch_kernels=True,
+            fuse_charges=True,
+            columnar_pages=True,
+            packed_storage=packed,
+        ):
+            data = generate_ssb(0.5, seed=21)
+            per_shard = []
+            for shard in range(2):
+                view = shard_tables(
+                    data.tables, "lineorder", shard, 2, mode, 21, columnar=True
+                )
+                per_shard.append(execute_shard_query(view, spec, config))
+            outcomes.append(per_shard)
+    assert outcomes[0] == outcomes[1]  # bitwise: == on floats
 
 
 def _jsonify(measured: dict) -> dict:

@@ -40,6 +40,7 @@ from repro.engine.config import (
     CJOIN,
     CJOIN_SP,
     QPIPE_SP,
+    arrangements_default,
     columnar_pages_default,
     fast_path,
     packed_storage_default,
@@ -214,6 +215,61 @@ def bench_columnar_pages(n: int, sf: float, seed: int, reps: int = 1) -> dict:
     }
 
 
+def bench_arrangements_row(n: int, sf: float, seed: int, reps: int = 1) -> dict:
+    """The shared-arrangements row: the full four-engine batch with
+    refcounted build-side sharing off vs on (batch kernels, fused charges
+    and the columnar default stay fixed in both runs, so the row isolates
+    the arrangement layer's host-side contribution).  Simulated results
+    are asserted identical per engine -- every build-input read and
+    hashing charge is still paid per query; only the Python index is
+    shared (tests/engine/test_golden_determinism.py holds the same)."""
+    from repro.storage.arrangements import ARRANGEMENTS
+
+    ds = generate_ssb(sf, seed)
+    workload = q32_random_workload(n, seed)
+    storage = StorageConfig(resident="memory")
+    columnar = columnar_pages_default()
+
+    def run_all():
+        return {
+            name: run_batch(ds.tables, config, workload, storage)
+            for name, config in ENGINES.items()
+        }
+
+    with fast_path(
+        batch_kernels=True, fuse_charges=True,
+        columnar_pages=columnar, arrangements=False,
+    ):
+        before_s, before, before_reps = _timed(run_all, reps)
+    stats0 = ARRANGEMENTS.stats()
+    with fast_path(
+        batch_kernels=True, fuse_charges=True,
+        columnar_pages=columnar, arrangements=True,
+    ):
+        after_s, after, after_reps = _timed(run_all, reps)
+    stats1 = ARRANGEMENTS.stats()
+    for name in ENGINES:
+        if _engine_fingerprint(before[name]) != _engine_fingerprint(after[name]):
+            raise SystemExit(
+                f"SIMULATED RESULTS DIVERGED for {name}: shared arrangements "
+                "changed ticks or charges -- this is a bug, not a perf issue"
+            )
+    return {
+        "Shared arrangements (all engines, off vs on)": {
+            "n_queries": n,
+            "before_s": round(before_s, 3),
+            "after_s": round(after_s, 3),
+            "speedup": round(before_s / after_s, 2) if after_s else None,
+            "before": _spread(before_reps),
+            "after": _spread(after_reps),
+            "arrangement_counters": {
+                k: stats1[k] - stats0[k]
+                for k in ("hits", "builds", "evictions", "invalidations")
+            },
+        }
+    }
+
+
 def _fact_bytes_resident(ds) -> int:
     """Resident bytes of the fact table's live column vectors (whatever
     layout the current flags built)."""
@@ -367,6 +423,7 @@ def main(argv: list[str] | None = None) -> int:
             "jobs": jobs,
             "columnar_default": columnar_pages_default(),
             "packed_default": packed_storage_default(),
+            "arrangements_default": arrangements_default(),
         },
         "engines": {},
         "experiments": {},
@@ -378,6 +435,7 @@ def main(argv: list[str] | None = None) -> int:
         report["engines"].update(bench_cjoin_chain(n=16, sf=0.5, seed=42, reps=reps))
         report["engines"].update(bench_columnar_pages(n=16, sf=0.5, seed=42, reps=reps))
         report["engines"].update(bench_packed_storage(n=16, sf=0.5, seed=42, reps=reps))
+        report["engines"].update(bench_arrangements_row(n=16, sf=0.5, seed=42, reps=reps))
         report["memory"] = memory_report(sf=0.5, seed=42)
         report["experiments"]["fig10_concurrency"] = bench_experiment(
             "fig10", lambda: fig10_concurrency(
@@ -394,6 +452,7 @@ def main(argv: list[str] | None = None) -> int:
         report["engines"].update(bench_cjoin_chain(n=64, sf=1.0, seed=42, reps=reps))
         report["engines"].update(bench_columnar_pages(n=64, sf=1.0, seed=42, reps=reps))
         report["engines"].update(bench_packed_storage(n=64, sf=1.0, seed=42, reps=reps))
+        report["engines"].update(bench_arrangements_row(n=64, sf=1.0, seed=42, reps=reps))
         report["memory"] = memory_report(sf=1.0, seed=42)
         report["experiments"]["fig10_concurrency"] = bench_experiment(
             "fig10", lambda: fig10_concurrency(jobs=jobs), reps

@@ -84,6 +84,21 @@ def _collate_shard_scaling(doc: dict) -> list[dict]:
     return rows
 
 
+def _collate_arrangements(doc: dict) -> list[dict]:
+    rows = [
+        _row("arrangements", key, "speedup", value)
+        for key, value in sorted(doc.get("speedup", {}).items())
+    ]
+    points = doc.get("points", {})
+    if points:
+        widest = max(c.get("mpl", 0) for c in points.values())
+        for key, cell in sorted(points.items()):
+            if cell.get("mpl") == widest:
+                rows.append(_row("arrangements", key, "arrange_hits", cell.get("hits")))
+                rows.append(_row("arrangements", key, "arrange_builds", cell.get("builds")))
+    return rows
+
+
 def _collate_gqp_ordering(doc: dict) -> list[dict]:
     return [
         _row("gqp_ordering", key.removeprefix("speedup_"), "speedup", value)
@@ -97,6 +112,7 @@ def _collate_gqp_ordering(doc: dict) -> list[dict]:
 #: benchmark appears in the trajectory before anyone teaches this file its
 #: shape.
 COLLATORS = {
+    "BENCH_arrangements": _collate_arrangements,
     "BENCH_wallclock": _collate_wallclock,
     "BENCH_shard_scaling": _collate_shard_scaling,
     "BENCH_gqp_ordering": _collate_gqp_ordering,

@@ -27,6 +27,7 @@ from dataclasses import dataclass, replace
 # fuse_charges itself); re-exported here because engine code and benchmarks
 # treat them as engine configuration.
 from repro.sim.fastpath import (  # noqa: F401  (re-exports)
+    arrangements_default,
     batch_kernels_default,
     columnar_pages_default,
     fast_path,
@@ -114,6 +115,14 @@ class EngineConfig:
     #: partitioner rather than to per-engine execution; it rides along
     #: here so sweeps and workers capture/replay one coherent flag set.
     packed_storage: bool | None = None
+    #: shared join arrangements (None = follow the process-wide default):
+    #: the hash-join stage and CJOIN admission probe one refcounted
+    #: build-side index per (table, key column) from
+    #: :data:`repro.storage.arrangements.ARRANGEMENTS` instead of each
+    #: query building its own.  Every simulated charge is still paid per
+    #: query (only the host-side structure is shared), so like the other
+    #: fast-path flags it never changes a simulated tick.
+    arrangements: bool | None = None
     #: the adaptive GQP data plane (None = follow the process-wide default;
     #: see ``gqp_plane`` / ``set_gqp_plane``).  Unlike the fast-path flags,
     #: these *change simulated results* when enabled: ``gqp_adaptive_ordering``
@@ -146,6 +155,9 @@ class EngineConfig:
         if self.packed_storage is None:
             return packed_storage_default() and self.use_columnar_pages()
         return self.packed_storage
+
+    def use_arrangements(self) -> bool:
+        return arrangements_default() if self.arrangements is None else self.arrangements
 
     def use_gqp_adaptive_ordering(self) -> bool:
         if self.gqp_adaptive_ordering is None:

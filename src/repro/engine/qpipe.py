@@ -38,6 +38,7 @@ from repro.query.plan import (
 from repro.query.star import Query, StarQuerySpec
 from repro.sim.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.sim.sync import Gate
+from repro.storage.arrangements import ARRANGEMENTS, Arrangement
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -188,7 +189,7 @@ class QPipeEngine:
                 return packet
             probe = self._input(inner.probe, query)
             build = self._input(inner.build, query)
-            self.join_stage.run(packet, probe, build)
+            self.join_stage.run(packet, probe, build, shared=self._shared_build(inner))
             return packet
         if isinstance(inner, AggregateNode):
             if self.cjoin_stage is not None and self.config.shared_aggregation:
@@ -212,6 +213,30 @@ class QPipeEngine:
             self.sort_stage.run(packet, child)
             return packet
         raise TypeError(f"cannot build a packet for {type(inner).__name__}")
+
+    def _shared_build(self, node: HashJoinNode) -> tuple[Arrangement, Any] | None:
+        """Resolve a shared build side for ``node`` -- ``(arrangement,
+        build predicate)`` -- or None for a private build.  Applies only
+        when the build side unwraps to a base-table scan (optionally
+        filtered) AND the base table is unique on the build key: unique
+        base keys make any filtered subset's mapping independent of build
+        insertion order, so queries whose circular build scans start at
+        different pages still see one identical view.  The build input is
+        still read and charged in full either way -- sharing never moves a
+        simulated tick.  The view itself is resolved in the join stage
+        (seeded from the first query's drained build rows, memoized per
+        predicate on the arrangement)."""
+        if not self.config.use_arrangements():
+            return None
+        inner, predicate = unwrap_selects(node.build)
+        if not isinstance(inner, ScanNode) or node.build_key not in inner.table.schema:
+            return None
+        arr = ARRANGEMENTS.acquire(inner.table, node.build_key)
+        if not arr.unique:
+            ARRANGEMENTS.release(arr)
+            return None
+        # Pinned until the join worker finishes (released in the stage).
+        return (arr, predicate)
 
     def _input(self, child: PlanNode, query: Query) -> FilteredInput:
         """Resolve one operator input: build the child sub-plan (or attach

@@ -19,18 +19,13 @@ from repro.engine.exchange import END
 from repro.engine.packet import Packet
 from repro.engine.stage import Stage
 from repro.engine.stages.inputs import FilteredInput
+from repro.storage.arrangements import (  # noqa: F401  (re-export: baselines import it here)
+    ARRANGEMENTS,
+    Arrangement,
+    single_match_table,
+)
 from repro.storage.packed import as_list
 from repro.storage.page import Batch, ColumnBatch
-
-
-def single_match_table(table: dict[Any, list[tuple]]) -> dict[Any, tuple] | None:
-    """When every build key maps to exactly one row (dimension tables keyed
-    by primary key -- the star-schema common case), flatten the hash table
-    to key -> row so probes run as C-level dict lookups.  Returns None when
-    any key has multiple matches (the general loop handles those)."""
-    if any(len(ms) != 1 for ms in table.values()):
-        return None
-    return {k: ms[0] for k, ms in table.items()}
 
 
 def probe_columnar(
@@ -98,11 +93,27 @@ class HashJoinStage(Stage):
     def __init__(self, engine):
         super().__init__(engine, "join")
 
-    def run(self, packet: Packet, probe_input: FilteredInput, build_input: FilteredInput) -> None:
-        self.spawn_worker(packet, self._work(packet, probe_input, build_input))
+    def run(
+        self,
+        packet: Packet,
+        probe_input: FilteredInput,
+        build_input: FilteredInput,
+        shared: tuple[Arrangement, Any] | None = None,
+    ) -> None:
+        """``shared`` (engine-resolved, see ``QPipeEngine._shared_build``)
+        carries a pinned arrangement plus the build-side predicate: the
+        build input is then drained with identical charges but no private
+        dict is populated, and probes hit the arrangement's shared view
+        for that predicate -- seeded by the first query's own drained
+        rows, fetched from the memo by every later one."""
+        self.spawn_worker(packet, self._work(packet, probe_input, build_input, shared))
 
     def _work(
-        self, packet: Packet, probe_input: FilteredInput, build_input: FilteredInput
+        self,
+        packet: Packet,
+        probe_input: FilteredInput,
+        build_input: FilteredInput,
+        shared: tuple[Arrangement, Any] | None = None,
     ) -> Iterator[Any]:
         node: "HashJoinNode" = packet.node
         cost = self.engine.cost
@@ -115,6 +126,12 @@ class HashJoinStage(Stage):
         build_key = build_input.schema.index(node.build_key)
         table: dict[Any, list[tuple]] = {}
         setdefault = table.setdefault
+        #: with a shared arrangement whose view for this predicate is not
+        #: memoized yet, collect the drained rows to seed it (C-level
+        #: extends; cheaper than the private setdefault loop they replace)
+        collect: list[tuple] | None = None
+        if shared is not None and not shared[0].has_single_view(shared[1]):
+            collect = []
         while True:
             # Fast mode: the input hands back its per-batch charge so it
             # rides in front of our hashing/build charge -- one command
@@ -145,13 +162,23 @@ class HashJoinStage(Stage):
             else:
                 yield cost.hashing(n, w)
                 yield cost.build(n, w)
-            for r in rows:
-                setdefault(r[build_key], []).append(r)
+            if shared is None:
+                # Private build.  With a shared arrangement the input is
+                # drained and charged identically (the *work* of reading
+                # and hashing is still this query's), but the dict the
+                # probes hit is the arrangement's shared view.
+                for r in rows:
+                    setdefault(r[build_key], []).append(r)
+            elif collect is not None:
+                collect.extend(rows)
 
         # ---- probe phase --------------------------------------------
         probe_key = probe_input.schema.index(node.probe_key)
         get = table.get
-        single = single_match_table(table)
+        if shared is not None:
+            single = shared[0].offer_single_view(shared[1], collect or [])
+        else:
+            single = single_match_table(table)
         empty: tuple = ()
         while True:
             if fuse:
@@ -168,6 +195,19 @@ class HashJoinStage(Stage):
                 continue
             if isinstance(batch, ColumnBatch):
                 out = probe_columnar(batch, probe_key, get, w, single)
+            elif single is not None:
+                # Row-plane single-match fast path (one dict lookup per
+                # probe row; same rows in the same order as the general
+                # loop, since every key has at most one match).
+                sget = single.get
+                out = Batch(
+                    [
+                        r + m
+                        for r in batch.rows
+                        if (m := sget(r[probe_key])) is not None
+                    ],
+                    w,
+                )
             else:
                 out = Batch(
                     [r + m for r in batch.rows for m in get(r[probe_key], empty)], w
@@ -198,3 +238,5 @@ class HashJoinStage(Stage):
         exchange.close()
         packet.finished = True
         self.unregister(packet)
+        if shared is not None:
+            ARRANGEMENTS.release(shared[0])

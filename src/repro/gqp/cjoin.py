@@ -28,6 +28,7 @@ from repro.sim.sync import Channel, Condition
 from repro.gqp.bitmap import SlotAllocator
 from repro.gqp.ordering import ChainOrderer
 from repro.query.expr import column_indices, row_key_fn
+from repro.storage.arrangements import ARRANGEMENTS
 from repro.storage.packed import as_list
 from repro.storage.page import Batch, ColumnBatch
 from repro.storage.prefetch import PageSource
@@ -490,14 +491,36 @@ class CJoinPipeline:
         slot = self.slots.alloc()
         bit = 1 << slot
         referenced = {d.dim_table for d, _ in plans}
+        use_arr = self.engine.config.use_arrangements()
         for dimspec, selected in plans:
             flt = self._ensure_filter(dimspec)
             key_idx = flt.dim_key_idx
             ht = flt.ht
             inserts = 0
             annotations = 0
-            keys = [r[key_idx] for r in selected]
-            if len(set(keys)) == len(keys):
+            arr = None
+            if use_arr:
+                # Shared arrangement: the dimension's key extraction is
+                # memoized per predicate, and base-key uniqueness makes
+                # every selected subset unique, so the set-equality check
+                # below is skipped (it would always pass).  All admission
+                # charges (dim scans above, hashing/build/bitmap below)
+                # are still paid per admitted query -- only the Python
+                # key list is reused across concurrent admissions.
+                arr = ARRANGEMENTS.acquire(
+                    self.storage.table(dimspec.dim_table), dimspec.dim_key
+                )
+            if arr is not None and arr.unique:
+                keys = arr.keys_for(selected, dimspec.predicate)
+                unique = True
+            else:
+                keys = [r[key_idx] for r in selected]
+                unique = len(set(keys)) == len(keys)
+            if arr is not None:
+                # Transient pin: held only across the key extraction; the
+                # extended filter owns its own _Entry table afterwards.
+                ARRANGEMENTS.release(arr)
+            if unique:
                 # Unique keys (dimensions keyed by primary key -- the
                 # common case): probe the hash table in one C-level map
                 # pass, then branch only on the precomputed entries.

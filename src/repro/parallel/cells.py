@@ -54,6 +54,7 @@ from repro.bench.workload import (
 )
 from repro.engine.config import (
     EngineConfig,
+    arrangements_default,
     batch_kernels_default,
     columnar_pages_default,
     fast_path,
@@ -77,16 +78,18 @@ __all__ = [
 ]
 
 
-def current_fast_flags() -> tuple[bool, bool, bool, bool]:
+def current_fast_flags() -> tuple[bool, bool, bool, bool, bool]:
     """The parent's (batch_kernels, fuse_charges, columnar_pages,
-    packed_storage) defaults, captured into each spec so workers replay
-    the parent's host-execution mode -- including a ``REPRO_COLUMNAR=0``
-    row-mode or ``REPRO_PACKED=0`` boxed-layout parent."""
+    packed_storage, arrangements) defaults, captured into each spec so
+    workers replay the parent's host-execution mode -- including a
+    ``REPRO_COLUMNAR=0`` row-mode, ``REPRO_PACKED=0`` boxed-layout, or
+    ``REPRO_ARRANGE=0`` private-builds parent."""
     return (
         batch_kernels_default(),
         fuse_charges_default(),
         columnar_pages_default(),
         packed_storage_default(),
+        arrangements_default(),
     )
 
 
@@ -196,11 +199,11 @@ class CellSpec:
     mode: str = "batch"
     n_clients: int = 0
     duration: float = 0.0
-    #: (batch_kernels, fuse_charges, columnar_pages, packed_storage)
-    #: captured in the parent at enumeration time; workers re-apply them
-    #: around the run (dataset generation included -- table layout is
-    #: decided at build time).
-    fast_flags: tuple[bool, bool, bool, bool] = field(default_factory=current_fast_flags)
+    #: (batch_kernels, fuse_charges, columnar_pages, packed_storage,
+    #: arrangements) captured in the parent at enumeration time; workers
+    #: re-apply them around the run (dataset generation included -- table
+    #: layout is decided at build time).
+    fast_flags: tuple[bool, ...] = field(default_factory=current_fast_flags)
     #: (adaptive_ordering, filter_kernels) likewise -- engine configs with
     #: the GQP knobs at ``None`` resolve against these inside the worker.
     gqp_flags: tuple[bool, bool] = field(default_factory=current_gqp_flags)

@@ -50,6 +50,13 @@ class ShardServiceMetrics(ServiceMetrics):
     #: virtual seconds of start-up scatter charged onto shard backlogs
     #: (per-page placement + per-shipped-byte copy via the cost model)
     prewarm_scatter_s: float = 0.0
+    #: virtual seconds of start-up arrangement builds charged onto EVERY
+    #: shard's backlog (dimension indexes built once pre-fork, shared
+    #: fork-COW; reusing queries pay only their probe cost)
+    prewarm_arrange_s: float = 0.0
+    #: shared-arrangement cache hits per shard, summed over gathered
+    #: queries (host-side attribution from :class:`ShardResponse`)
+    arrange_hits: dict[int, int] = field(default_factory=dict)
     #: queries retried after a worker crash (and then gathered normally)
     shard_retries: int = 0
     #: worker processes (re)spawned after a crash or a timeout kill
@@ -77,6 +84,10 @@ class ShardServiceMetrics(ServiceMetrics):
     ) -> None:
         self.partition_shipping[shard_id] = dict(shipping)
         self.prewarm_scatter_s += prewarm_s
+
+    def record_arrange_hits(self, shard_id: int, hits: int) -> None:
+        if hits:
+            self.arrange_hits[shard_id] = self.arrange_hits.get(shard_id, 0) + hits
 
     def record_pressure(self, backlog_s: float) -> None:
         if backlog_s > self.peak_shard_backlog_s:
@@ -108,6 +119,8 @@ class ShardServiceMetrics(ServiceMetrics):
                 f"shard{i}": dict(s) for i, s in sorted(self.partition_shipping.items())
             },
             "prewarm_scatter_s": self.prewarm_scatter_s,
+            "prewarm_arrange_s": self.prewarm_arrange_s,
+            "arrange_hits": {f"shard{i}": n for i, n in sorted(self.arrange_hits.items())},
             "peak_backlog_s": self.peak_shard_backlog_s,
             "retries": self.shard_retries,
             "respawns": self.shard_respawns,

@@ -51,7 +51,7 @@ class ShardConfig:
     machine: MachineSpec = PAPER_MACHINE
     #: host fast-path / GQP-plane flags captured at construction in the
     #: parent (same mechanism as CellSpec: workers replay the parent mode)
-    fast_flags: tuple[bool, bool, bool, bool] = field(default_factory=current_fast_flags)
+    fast_flags: tuple[bool, ...] = field(default_factory=current_fast_flags)
     gqp_flags: tuple[bool, bool] = field(default_factory=current_gqp_flags)
     #: wall-clock seconds the gather waits per shard before declaring the
     #: worker stuck (kill + respawn, no retry)
@@ -126,6 +126,10 @@ class ShardResponse:
     wall_s: float
     #: generated fact rows in this worker's partition (0 is legal)
     fact_rows: int
+    #: shared-arrangement cache hits this request scored in the worker
+    #: (host-side attribution, like ``wall_s``: the fork-COW prewarmed
+    #: arrangements make reuse the steady state)
+    arrange_hits: int = 0
     #: set instead of ``state`` when plan build/execution raised: the
     #: structured failure travels the pipe, it never kills the worker
     error: str | None = None

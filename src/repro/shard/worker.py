@@ -39,6 +39,7 @@ from repro.shard.partition import partition_shipping, shard_tables
 from repro.shard.spec import ShardConfig, ShardRequest, ShardResponse
 from repro.sim.costmodel import DEFAULT_COST_MODEL
 from repro.sim.engine import Simulator
+from repro.storage.arrangements import ARRANGEMENTS
 from repro.storage.manager import StorageManager
 from repro.storage.table import Table
 
@@ -112,6 +113,7 @@ def shard_worker_main(conn: Any, shard_id: int, config: ShardConfig) -> None:
                 time.sleep(3600)
                 continue
             t0 = time.perf_counter()
+            hits0 = ARRANGEMENTS.hits
             try:
                 state, svc = execute_shard_query(tables, req.spec, config)
             except Exception as exc:
@@ -135,5 +137,6 @@ def shard_worker_main(conn: Any, shard_id: int, config: ShardConfig) -> None:
                     svc_seconds=svc,
                     wall_s=time.perf_counter() - t0,
                     fact_rows=fact_rows,
+                    arrange_hits=ARRANGEMENTS.hits - hits0,
                 )
             )

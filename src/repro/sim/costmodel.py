@@ -102,6 +102,10 @@ class CostModel:
     #: zero-copy range views of packed buffers, real buffer bytes for hash
     #: gathers (see :func:`repro.shard.partition.partition_shipping`)
     scatter_byte: float = 2.0
+    #: per real row of building one shared join arrangement (hash the key
+    #: plus one index insert -- the same work a query-centric build pays
+    #: per tuple, paid ONCE per (table, key) instead of once per query)
+    arrange_row: float = 225.0
 
     # ---- packet / plan management --------------------------------------
     packet_dispatch: float = 400_000.0  # per packet: create+queue+teardown (cycles)
@@ -244,6 +248,16 @@ class CostModel:
         front end's *virtual timeline* (via the shard backlog), not
         through a simulator."""
         return self.scatter_page * pages + self.scatter_byte * shipped_bytes
+
+    def arrange_cycles(self, rows: float) -> float:
+        """Cycles to build one shared join arrangement over ``rows`` real
+        rows (hash + insert per row).  Returned as a raw cycle count (not
+        a :class:`CpuCommand`): the shard tier charges it once at start-up
+        on the front end's *virtual timeline* (via the shard backlog,
+        exactly like :meth:`scatter_cycles`); reusing queries pay only
+        their probe cost, which is already in their simulated service
+        times."""
+        return self.arrange_row * rows
 
     def reorder(self, n_filters: float) -> CpuCommand:
         memo = self._memo

@@ -23,14 +23,23 @@ switchboard:
   meaningful under ``columnar_pages`` (packing decides how column
   vectors are *stored*; the columnar plane decides whether they are
   *used*), so :func:`packed_storage_active` ANDs the two.  Like the
-  other fast-path flags it never changes a simulated tick.
+  other fast-path flags it never changes a simulated tick;
+* ``arrangements`` -- join consumers share refcounted build-side
+  indexes (:mod:`repro.storage.arrangements`): one hash arrangement per
+  (table, key column) built on first demand and probed by every
+  concurrent query joining on that key, instead of each query building
+  its own dict.  Every simulated charge (build-input reads, hashing,
+  insert bookkeeping, admission scans) is still paid per query -- only
+  the host-side Python data structure is shared -- so simulated results
+  stay bit-identical either way.
 
-All default on; ``fast_path(False, False, False, False)`` restores the
-row-at-a-time "before" behavior for benchmarking and for the golden
-determinism tests, which hold the modes to *bit-identical* simulated
-results.  ``REPRO_COLUMNAR=0`` / ``REPRO_PACKED=0`` seed the columnar /
-packed defaults off at import time (spawned benchmark/worker processes
-inherit the parent's choice).
+All default on; ``fast_path(False, False, False, False, False)``
+restores the row-at-a-time "before" behavior for benchmarking and for
+the golden determinism tests, which hold the modes to *bit-identical*
+simulated results.  ``REPRO_COLUMNAR=0`` / ``REPRO_PACKED=0`` /
+``REPRO_ARRANGE=0`` seed the columnar / packed / arrangement defaults
+off at import time (spawned benchmark/worker processes inherit the
+parent's choice).
 
 A second switchboard carries the process-wide defaults of the **adaptive
 GQP data plane** (:mod:`repro.gqp.ordering`):
@@ -63,6 +72,7 @@ _FAST_PATH = {
     "fuse_charges": True,
     "columnar_pages": os.environ.get("REPRO_COLUMNAR", "1") not in ("0", "false"),
     "packed_storage": os.environ.get("REPRO_PACKED", "1") not in ("0", "false"),
+    "arrangements": os.environ.get("REPRO_ARRANGE", "1") not in ("0", "false"),
 }
 
 _GQP_PLANE = {
@@ -91,6 +101,11 @@ def packed_storage_default() -> bool:
     return _FAST_PATH["packed_storage"]
 
 
+def arrangements_default() -> bool:
+    """Process-wide default for shared (refcounted) join arrangements."""
+    return _FAST_PATH["arrangements"]
+
+
 def packed_storage_active() -> bool:
     """Whether tables should build packed column vectors *right now*:
     packed storage only pays off when the columnar plane consumes it, so
@@ -104,13 +119,16 @@ def fast_path(
     fuse_charges: bool = True,
     columnar_pages: bool | None = None,
     packed_storage: bool | None = None,
+    arrangements: bool | None = None,
 ):
     """Temporarily override the fast-path defaults (benchmarking/tests).
 
     ``columnar_pages=None`` follows ``batch_kernels`` -- the historical
     two-argument calls ``fast_path(False, False)`` / ``fast_path(True,
-    True)`` keep meaning "everything off" / "everything on" -- and
-    ``packed_storage=None`` follows the resolved ``columnar_pages``."""
+    True)`` keep meaning "everything off" / "everything on" --
+    ``packed_storage=None`` follows the resolved ``columnar_pages``, and
+    ``arrangements=None`` follows ``batch_kernels`` for the same
+    everything-off/everything-on reason."""
     saved = dict(_FAST_PATH)
     _FAST_PATH["batch_kernels"] = batch_kernels
     _FAST_PATH["fuse_charges"] = fuse_charges
@@ -118,6 +136,9 @@ def fast_path(
     _FAST_PATH["columnar_pages"] = columnar
     _FAST_PATH["packed_storage"] = (
         columnar if packed_storage is None else packed_storage
+    )
+    _FAST_PATH["arrangements"] = (
+        batch_kernels if arrangements is None else arrangements
     )
     try:
         yield

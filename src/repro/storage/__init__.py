@@ -9,6 +9,7 @@ over relatively static data), which lets dataset objects be shared across
 simulation runs.
 """
 
+from repro.storage.arrangements import ARRANGEMENTS, Arrangement, ArrangementCache
 from repro.storage.bufferpool import BufferPool
 from repro.storage.cache import OsPageCache
 from repro.storage.manager import StorageConfig, StorageManager
@@ -25,6 +26,9 @@ from repro.storage.schema import Column, Schema
 from repro.storage.table import Table
 
 __all__ = [
+    "ARRANGEMENTS",
+    "Arrangement",
+    "ArrangementCache",
     "Batch",
     "BufferPool",
     "Column",

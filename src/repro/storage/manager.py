@@ -98,9 +98,16 @@ class StorageManager:
 
     def notify_update(self, table_name: str) -> int:
         """A base table changed: invalidate every materialized result
-        derived from it.  Returns how many cache entries were dropped.
-        (Tables themselves are immutable in this simulator; the hook exists
-        so update-carrying workloads keep cached results consistent.)"""
+        derived from it.  Returns how many *result-cache* entries were
+        dropped.  Shared join arrangements over the table are dropped too
+        (concurrent holders finish on their pinned snapshot; the next
+        acquirer rebuilds) -- tracked by the arrangement cache's own
+        counters, not this return value.  (Tables themselves are immutable
+        in this simulator; the hook exists so update-carrying workloads
+        keep shared derived state consistent.)"""
+        from repro.storage.arrangements import ARRANGEMENTS
+
+        ARRANGEMENTS.invalidate_table(table_name)
         if self.result_cache is None:
             return 0
         return self.result_cache.invalidate_table(table_name)

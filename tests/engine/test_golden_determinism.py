@@ -128,6 +128,48 @@ def test_packed_storage_is_bit_identical(config_key):
     assert results[0] == results[1]  # bitwise: == on floats
 
 
+@pytest.mark.parametrize("config_key", list(CONFIGS), ids=list(CONFIGS))
+def test_arrangements_are_bit_identical(ssb, config_key):
+    """Shared join arrangements reuse the *host-side* build index across
+    queries; every simulated charge (build-input reads, hashing/insert
+    cycles, CJOIN admission scans) is still paid per query, so the full
+    metrics view must match bitwise with the toggle alone flipped."""
+    results = []
+    for arrange in (False, True):
+        with fast_path(
+            batch_kernels=True,
+            fuse_charges=True,
+            arrangements=arrange,
+        ):
+            results.append(_run_mix_inner(ssb, config_key))
+    assert results[0] == results[1]  # bitwise: == on floats
+
+
+@pytest.mark.parametrize("mode", ["hash", "range"])
+def test_shard_fingerprints_identical_arrangements_vs_naive(ssb, mode):
+    """A shard engine probing shared arrangements must be indistinguishable
+    from one building private hash tables: identical partial-aggregate
+    state and identical simulated service time on every shard, for either
+    placement mode."""
+    from repro.parallel.cells import DatasetSpec
+    from repro.query.ssb_queries import q32
+    from repro.shard.partition import shard_tables
+    from repro.shard.spec import ShardConfig
+    from repro.shard.worker import execute_shard_query
+
+    spec = q32("CHINA", "FRANCE", 1993, 1996)
+    outcomes = []
+    for arrange in (False, True):
+        with fast_path(batch_kernels=True, fuse_charges=True, arrangements=arrange):
+            config = ShardConfig(n_shards=2, dataset=DatasetSpec("ssb", 0.5, 21))
+            per_shard = []
+            for shard in range(2):
+                view = shard_tables(ssb.tables, "lineorder", shard, 2, mode, 21)
+                per_shard.append(execute_shard_query(view, spec, config))
+            outcomes.append(per_shard)
+    assert outcomes[0] == outcomes[1]  # bitwise: == on floats
+
+
 @pytest.mark.parametrize("mode", ["hash", "range"])
 def test_shard_fingerprints_identical_row_vs_columnar_partitioning(ssb, mode):
     """Zero-copy shard partitions (column slices / gathers through

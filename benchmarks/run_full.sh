@@ -21,11 +21,15 @@ export REPRO_JOBS
 
 # GQP data-plane knobs ride through to every figure (and, via the fabric's
 # flag capture, to every worker process) when set by the caller.
+# REPRO_FOLD=0 rides through the same way: the similarity figures then
+# measure exact-match sharing only (no subsumption folding).
 [ -n "${REPRO_GQP_ORDERING:-}" ] && export REPRO_GQP_ORDERING
 [ -n "${REPRO_GQP_KERNELS:-}" ] && export REPRO_GQP_KERNELS
+[ -n "${REPRO_FOLD:-}" ] && export REPRO_FOLD
 
 echo "=== FULL RUN start $(date +%T) jobs=${REPRO_JOBS}" \
-     "gqp=${REPRO_GQP_ORDERING:-static}/kernels=${REPRO_GQP_KERNELS:-0} ===" >> "$LOG"
+     "gqp=${REPRO_GQP_ORDERING:-static}/kernels=${REPRO_GQP_KERNELS:-0}" \
+     "fold=${REPRO_FOLD:-1} ===" >> "$LOG"
 summary=""
 for f in fig6_push_vs_pull fig11_selectivity fig10_concurrency fig12_selectivity_conc \
          fig13_scalefactor fig14_similarity fig15_plans fig16_mix; do

@@ -99,6 +99,24 @@ def _collate_arrangements(doc: dict) -> list[dict]:
     return rows
 
 
+def _collate_folding(doc: dict) -> list[dict]:
+    rows = []
+    for overlap, cell in sorted(doc.get("sweep", {}).items()):
+        rows.append(_row("folding", f"overlap {overlap}", "p95_ratio",
+                         cell["ratio"]))
+    best = max(doc.get("sweep", {}).values(),
+               key=lambda c: c["ratio"], default=None)
+    if best is not None:
+        folds = sum(
+            v for k, v in best.get("fold_counters", {}).items()
+            if k.startswith(("fold_attach:", "fold_cache_hit:"))
+        )
+        rows.append(_row("folding", "best overlap", "fold_attaches", folds))
+        rows.append(_row("folding", "best overlap", "cache_fold_hits",
+                         best.get("cache_fold_hits", 0)))
+    return rows
+
+
 def _collate_gqp_ordering(doc: dict) -> list[dict]:
     return [
         _row("gqp_ordering", key.removeprefix("speedup_"), "speedup", value)
@@ -116,6 +134,7 @@ COLLATORS = {
     "BENCH_wallclock": _collate_wallclock,
     "BENCH_shard_scaling": _collate_shard_scaling,
     "BENCH_gqp_ordering": _collate_gqp_ordering,
+    "BENCH_folding": _collate_folding,
 }
 
 

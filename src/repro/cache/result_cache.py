@@ -55,7 +55,7 @@ class CacheEntry:
     """One materialized sub-plan result."""
 
     __slots__ = ("key", "batches", "nbytes", "cost_seconds", "tables", "stage",
-                 "hits", "last_used", "seq")
+                 "hits", "last_used", "seq", "node")
 
     def __init__(
         self,
@@ -66,6 +66,7 @@ class CacheEntry:
         tables: frozenset[str],
         stage: str,
         seq: int,
+        node=None,
     ):
         self.key = key
         self.batches = batches
@@ -76,6 +77,11 @@ class CacheEntry:
         self.hits = 0
         self.last_used = seq
         self.seq = seq
+        # The plan node this entry materialized, when the filler recorded
+        # it: subsumption probes (repro.query.subsume) need the structure,
+        # not just the signature hash.  Entries without a node only serve
+        # exact hits.
+        self.node = node
 
     def benefit_per_byte(self) -> float:
         """Eviction score of the ``benefit`` policy: what re-creating this
@@ -118,6 +124,7 @@ class ResultCache:
         self.evictions = 0
         self.rejected = 0  # entries larger than the per-entry bound
         self.invalidated = 0
+        self.fold_hits = 0  # partial hits served through a subsuming entry
 
     # -- probes ---------------------------------------------------------
     def probe(self, key: tuple) -> CacheEntry | None:
@@ -141,6 +148,50 @@ class ResultCache:
 
     def contains_any(self, keys: Iterable[tuple]) -> bool:
         return any(k in self._entries for k in keys)
+
+    def probe_subsuming(self, node) -> tuple[CacheEntry, "FoldPlan", int] | None:
+        """Partial-hit probe: the cheapest entry whose recorded plan
+        *subsumes* ``node`` (repro.query.subsume), as ``(entry, fold plan,
+        candidates examined)``.  Called only after an exact :meth:`probe`
+        missed, so it never shadows a direct hit.  Ranking: fewest residual
+        terms and no roll-up first, then smallest entry with the highest
+        benefit-per-byte (cheapest to replay, most worth keeping hot), then
+        insertion order."""
+        from repro.query.subsume import FoldPlanner  # deferred: layering
+
+        planner = FoldPlanner(node)
+        sig = node.signature
+        for entry in self._entries.values():
+            if entry.node is None or entry.key == sig:
+                continue
+            planner.consider(
+                entry.node,
+                entry,
+                tie_break=(entry.nbytes, -entry.benefit_per_byte(), entry.seq),
+            )
+        best = planner.best()
+        if best is None:
+            return None
+        entry, plan = best
+        self._tick += 1
+        entry.hits += 1
+        entry.last_used = self._tick
+        self.fold_hits += 1
+        self.sim.metrics.bump("result_cache_fold_hits")
+        return entry, plan, planner.examined
+
+    def has_subsuming(self, node) -> bool:
+        """Silent fold-hit test (no counters) -- the routing layer's
+        "would folding likely serve this query from cache?" probe."""
+        from repro.query.subsume import fold_plan  # deferred: layering
+
+        sig = node.signature
+        for entry in self._entries.values():
+            if entry.node is None or entry.key == sig:
+                continue
+            if fold_plan(node, entry.node) is not None:
+                return True
+        return False
 
     # -- fills ----------------------------------------------------------
     def begin_fill(self, key: tuple) -> bool:
@@ -167,6 +218,7 @@ class ResultCache:
         cost_seconds: float,
         tables: frozenset[str],
         stage: str = "",
+        node=None,
     ) -> bool:
         """Insert a materialized result, evicting by policy to fit."""
         if not self.fits_entry(nbytes):
@@ -180,7 +232,7 @@ class ResultCache:
             self._evict_one()
         self._tick += 1
         self._entries[key] = CacheEntry(
-            key, batches, nbytes, cost_seconds, tables, stage, self._tick
+            key, batches, nbytes, cost_seconds, tables, stage, self._tick, node=node
         )
         self._bytes += nbytes
         self.insertions += 1
@@ -234,6 +286,7 @@ class ResultCache:
             "evictions": self.evictions,
             "rejected": self.rejected,
             "invalidated": self.invalidated,
+            "fold_hits": self.fold_hits,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -262,4 +315,15 @@ def cached_query_centric_plan(storage, spec):
     candidates = [plan.signature]
     if isinstance(plan, SortNode):
         candidates.append(plan.child.signature)
-    return plan if cache.contains_any(candidates) else None
+    if cache.contains_any(candidates):
+        return plan
+    # Under query folding, a *subsuming* entry serves the query the same
+    # way (residual replay at memory-read cost), so the routing discount
+    # applies to partial hits too.
+    from repro.sim.fastpath import query_folding_default  # deferred: layering
+
+    if query_folding_default():
+        roots = [plan.child, plan] if isinstance(plan, SortNode) else [plan]
+        if any(cache.has_subsuming(r) for r in roots):
+            return plan
+    return None

@@ -487,6 +487,20 @@ def cmd_list(_args) -> int:
             ],
         )
     )
+    print()
+    print(
+        format_table(
+            "fast-path planes (env escape hatches; all default on)",
+            ["env", "plane"],
+            [
+                ["REPRO_COLUMNAR=0", "columnar pages -> row batches"],
+                ["REPRO_PACKED=0", "packed column vectors -> boxed lists"],
+                ["REPRO_ARRANGE=0", "shared join arrangements -> private builds"],
+                ["REPRO_FOLD=0", "subsumption query folding -> exact-match "
+                 "sharing only (WoP, cache, arrangements)"],
+            ],
+        )
+    )
     return 0
 
 
@@ -585,7 +599,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--rate", type=float, default=8.0, help="mean arrivals per second")
     p_serve.add_argument("--duration", type=float, default=10.0, help="serving window (simulated s)")
     p_serve.add_argument("--workload", default="ssb-mix",
-                         help="query stream: ssb-mix, q32-random or recurring:<rate>")
+                         help="query stream: ssb-mix, q32-random, recurring:<rate> "
+                         "or folding:<overlap>")
     p_serve.add_argument("--sf", type=float, default=1.0, help="scale factor")
     p_serve.add_argument("--seed", type=int, default=42)
     p_serve.add_argument("--queue-capacity", type=int, default=64, help="admission queue bound")

@@ -37,6 +37,7 @@ from repro.sim.fastpath import (  # noqa: F401  (re-exports)
     gqp_plane,
     packed_storage_active,
     packed_storage_default,
+    query_folding_default,
     set_gqp_plane,
 )
 
@@ -123,6 +124,16 @@ class EngineConfig:
     #: query (only the host-side structure is shared), so like the other
     #: fast-path flags it never changes a simulated tick.
     arrangements: bool | None = None
+    #: subsumption-based query folding (None = follow the process-wide
+    #: default, ``REPRO_FOLD``): admission, the result cache, and the
+    #: arrangement cache match by *subsumption* (:mod:`repro.query.subsume`)
+    #: in addition to exact signatures -- a satellite attaches to a
+    #: superset host through a residual post-filter, a cache probe answers
+    #: from a superset entry, a range probe rides a sibling arrangement.
+    #: Folding skips sub-plan work, so unlike the flags above it *changes
+    #: simulated timing*; query results stay bit-identical (golden suite
+    #: fingerprint-asserts both planes).
+    query_folding: bool | None = None
     #: the adaptive GQP data plane (None = follow the process-wide default;
     #: see ``gqp_plane`` / ``set_gqp_plane``).  Unlike the fast-path flags,
     #: these *change simulated results* when enabled: ``gqp_adaptive_ordering``
@@ -158,6 +169,9 @@ class EngineConfig:
 
     def use_arrangements(self) -> bool:
         return arrangements_default() if self.arrangements is None else self.arrangements
+
+    def use_query_folding(self) -> bool:
+        return query_folding_default() if self.query_folding is None else self.query_folding
 
     def use_gqp_adaptive_ordering(self) -> bool:
         if self.gqp_adaptive_ordering is None:

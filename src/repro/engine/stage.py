@@ -15,6 +15,20 @@ that becomes a host additionally spills its output into the cache through
 one extra SPL consumer; the SPL's pull model keeps the producer's critical
 path untouched (the Section 4 argument) and its bounded size still governs
 producer pacing.
+
+Under query folding (``EngineConfig.query_folding``; see
+:mod:`repro.query.subsume`), both layers also match by *subsumption*.  When
+no exact host or cache entry exists, admission searches the registry for a
+host whose plan subsumes the packet's and -- if one is inside its WoP --
+attaches through a residual operator: a worker streams the host's output
+through the compiled post-filter (or roll-up re-aggregation) into the
+packet's own exchange, at memory-read + residual cost instead of the whole
+sub-plan.  Failing that, the result cache is probed for a *subsuming* entry
+and replayed the same way.  The folded packet still registers its own exact
+signature (identical arrivals attach to it) and still spills to the cache,
+so one broad host seeds both sharing layers for its whole cone of narrower
+queries.  Admission order: exact cache hit, exact WoP attach, subsuming WoP
+fold, subsuming cache fold, then query-centric.
 """
 
 from __future__ import annotations
@@ -25,6 +39,7 @@ from repro.engine.exchange import END
 from repro.engine.packet import Packet
 from repro.engine.wop import STAGE_WOP, WindowOfOpportunity
 from repro.query.plan import referenced_tables
+from repro.query.subsume import FoldPlan, FoldPlanner, ResidualOperator
 from repro.sim.commands import CPU
 from repro.storage.page import Batch
 
@@ -46,6 +61,8 @@ class Stage:
         self.packets_admitted = 0
         self.packets_shared = 0
         self.packets_cached = 0
+        self.packets_folded = 0  # attached to a subsuming in-flight host
+        self.packets_fold_cached = 0  # served from a subsuming cache entry
 
     # ------------------------------------------------------------------
     @property
@@ -71,8 +88,8 @@ class Stage:
 
     def admit(self, packet: Packet) -> bool:
         """Register ``packet``; returns True if its sub-plan must not be
-        built -- it attached as a satellite, or it is served from the
-        result cache."""
+        built -- it attached as a satellite (exactly or through a fold),
+        or it is served from the result cache (exactly or folded)."""
         self.packets_admitted += 1
         cache = self.result_cache()
         if cache is not None:
@@ -93,6 +110,11 @@ class Stage:
                 self.packets_shared += 1
                 self._record_sharing(packet)
                 return True
+        fold_on = self.engine.config.use_query_folding()
+        if fold_on and self.sp_enabled and self._try_fold_host(packet, cache):
+            return True
+        if fold_on and cache is not None and self._try_fold_cached(packet, cache):
+            return True
         packet.exchange = self.engine.new_exchange(f"{self.name}.p{packet.packet_id}")
         if self.sp_enabled:
             # Replaces a host that fell out of its WoP, if any.
@@ -178,9 +200,155 @@ class Stage:
                     cost_seconds=sim.now - start,
                     tables=referenced_tables(packet.node),
                     stage=self.name,
+                    node=packet.node,
                 )
         finally:
             cache.end_fill(key)
+
+    # ------------------------------------------------------------------
+    # Query folding (repro.query.subsume): subsumption attach and replay
+    # ------------------------------------------------------------------
+    def _try_fold_host(self, packet: Packet, cache: "ResultCache | None") -> bool:
+        """Search the registry for the cheapest host whose plan subsumes
+        this packet's and attach through a residual operator.  The fold
+        reader is opened *here*, before the host can emit -- a host that
+        has already started emitting is skipped (pages before the attach
+        point would be lost)."""
+        planner = FoldPlanner(packet.node)
+        for sig, host in self._registry.items():
+            if sig == packet.signature:
+                continue  # exact attach was already tried (and missed)
+            if host.started_emitting or not host.can_attach():
+                continue
+            exchange = host.exchange
+            if exchange is None or exchange.kind != "spl":
+                continue  # pull-model only: a FIFO host would pay the copies
+            planner.consider(host.node, host, tie_break=(host.packet_id,))
+        best = planner.best()
+        if best is None:
+            return False
+        host, plan = best
+        reader = host.exchange.open_reader()
+        packet.exchange = self.engine.new_exchange(f"{self.name}.p{packet.packet_id}")
+        self.packets_folded += 1
+        self.engine.sim.metrics.bump(f"fold_attach:{self._sharing_label(packet)}")
+        # The folded packet is a full host for its own exact signature:
+        # identical arrivals attach to it, and it may spill to the cache.
+        self._registry[packet.signature] = packet
+        if cache is not None and self._fill_eligible(packet, cache):
+            self.engine.sim.spawn(
+                self._fill_cache(packet, cache),
+                name=f"cachefill-{self.name}-p{packet.packet_id}",
+            )
+        self.spawn_worker(
+            packet, self._fold_from_host(packet, host, reader, plan, planner.examined)
+        )
+        return True
+
+    def _fold_from_host(
+        self,
+        packet: Packet,
+        host: Packet,
+        reader: Any,
+        plan: FoldPlan,
+        examined: int,
+    ) -> Iterator[Any]:
+        """Worker for a host fold: stream the host's output through the
+        compiled residual operator into this packet's own exchange.  The
+        packet pays the fold search, a memory read per page, the residual
+        predicate per term, and -- for roll-ups -- re-aggregation per
+        surviving group; the host's critical path is untouched (one more
+        SPL reader under the pull model)."""
+        cost = self.engine.cost
+        exchange = packet.exchange
+        op = ResidualOperator(
+            plan,
+            host.node.schema,
+            batch_kernels=self.engine.config.use_batch_kernels(),
+        )
+        yield cost.fold_search(examined)
+        terms = plan.residual_terms
+        first = True
+        while True:
+            batch = yield from reader.read()
+            if batch is END:
+                break
+            n = len(batch)
+            if n == 0:
+                continue
+            yield cost.read(n, batch.weight)
+            if terms:
+                yield cost.predicate(n, batch.weight, terms)
+            if op.regrouping:
+                merged = op.absorb(list(batch.rows))
+                if merged:
+                    yield cost.aggregate(merged, batch.weight, op.n_measures)
+                continue
+            rows = op.apply(list(batch.rows))
+            if rows:
+                if first:
+                    first = False
+                    packet.mark_started()
+                    self.unregister(packet)
+                yield from exchange.emit(Batch(rows, batch.weight))
+        if op.regrouping:
+            packet.mark_started()
+            self.unregister(packet)
+            yield from exchange.emit(Batch(op.finalize(), 1.0))
+        else:
+            packet.mark_started()
+            self.unregister(packet)
+        exchange.close()
+        packet.finished = True
+
+    def _try_fold_cached(self, packet: Packet, cache: "ResultCache") -> bool:
+        """Probe the result cache for a *subsuming* entry (exact probe
+        already missed) and replay it through the residual operator."""
+        hit = cache.probe_subsuming(packet.node)
+        if hit is None:
+            return False
+        entry, plan, examined = hit
+        packet.exchange = self.engine.new_exchange(f"{self.name}.p{packet.packet_id}")
+        self.packets_fold_cached += 1
+        packet.query.cache_served = True
+        self.engine.sim.metrics.bump(f"fold_cache_hit:{self._sharing_label(packet)}")
+        self.spawn_worker(packet, self._replay_folded(packet, entry, plan, examined))
+        return True
+
+    def _replay_folded(
+        self, packet: Packet, entry: "CacheEntry", plan: FoldPlan, examined: int
+    ) -> Iterator[Any]:
+        """Worker for a folded cache hit: like :meth:`_replay_cached`, but
+        every page passes through the residual operator first."""
+        cost = self.engine.cost
+        exchange = packet.exchange
+        op = ResidualOperator(
+            plan,
+            entry.node.schema,
+            batch_kernels=self.engine.config.use_batch_kernels(),
+        )
+        yield cost.fold_search(examined)
+        yield CPU(cost.cache_probe, "misc")
+        terms = plan.residual_terms
+        for batch in entry.batches:
+            yield CPU(cost.cache_replay_page, "misc")
+            n = len(batch)
+            yield cost.read(n, batch.weight)
+            if terms and n:
+                yield cost.predicate(n, batch.weight, terms)
+            if op.regrouping:
+                merged = op.absorb(list(batch.rows))
+                if merged:
+                    yield cost.aggregate(merged, batch.weight, op.n_measures)
+            else:
+                rows = op.apply(list(batch.rows))
+                if rows:
+                    yield from exchange.emit(Batch(rows, batch.weight))
+        if op.regrouping:
+            yield from exchange.emit(Batch(op.finalize(), 1.0))
+        packet.mark_started()
+        exchange.close()
+        packet.finished = True
 
     # ------------------------------------------------------------------
     def _sharing_label(self, packet: Packet) -> str:

@@ -128,10 +128,22 @@ class HashJoinStage(Stage):
         setdefault = table.setdefault
         #: with a shared arrangement whose view for this predicate is not
         #: memoized yet, collect the drained rows to seed it (C-level
-        #: extends; cheaper than the private setdefault loop they replace)
+        #: extends; cheaper than the private setdefault loop they replace).
+        #: Under query folding, a *subsuming* sibling view (built for a
+        #: weaker build-side predicate) serves instead: the view derives
+        #: from the sibling's rows at probe time, so nothing is collected.
+        #: Either way the build input is drained with identical charges --
+        #: the derived mapping equals the directly built one (unique base
+        #: keys), so this fold never moves a simulated tick.
         collect: list[tuple] | None = None
+        fold_view = False
         if shared is not None and not shared[0].has_single_view(shared[1]):
-            collect = []
+            if self.engine.config.use_query_folding() and shared[0].has_subsuming_view(
+                shared[1]
+            ):
+                fold_view = True
+            else:
+                collect = []
         while True:
             # Fast mode: the input hands back its per-batch charge so it
             # rides in front of our hashing/build charge -- one command
@@ -176,7 +188,10 @@ class HashJoinStage(Stage):
         probe_key = probe_input.schema.index(node.probe_key)
         get = table.get
         if shared is not None:
-            single = shared[0].offer_single_view(shared[1], collect or [])
+            if fold_view:
+                single = shared[0].fold_single_view(shared[1])
+            else:
+                single = shared[0].offer_single_view(shared[1], collect or [])
         else:
             single = single_match_table(table)
         empty: tuple = ()

@@ -425,6 +425,13 @@ class CJoinPipeline:
             terms = dimspec.predicate.terms
             cache_key = (dimspec.dim_table, dimspec.predicate)
             cached = self._dim_sel_cache.get(cache_key)
+            if cached is None and self.engine.config.use_query_folding():
+                # Query folding: derive this selection from a subsuming
+                # sibling selection or a sorted arrangement variant
+                # instead of compiling a fresh predicate kernel.  The page
+                # loop below still charges every scan/predicate cycle
+                # (kernel stays None), so simulated ticks are unchanged.
+                cached = self._fold_dim_selected(dim, dimspec)
             if cached is None:
                 if self.engine.config.use_batch_kernels():
                     kernel = dimspec.predicate.compile_batch(dim.schema)
@@ -479,6 +486,59 @@ class CJoinPipeline:
             return cached
         if cache_key is not None:
             self._dim_sel_cache[cache_key] = selected
+        return selected
+
+    def _fold_dim_selected(self, dim, dimspec) -> list | None:
+        """Derive one admission's dim-scan selection from already-shared
+        state (query folding, host-side only -- no simulated charges):
+
+        * **sibling selection** -- a ``_dim_sel_cache`` entry whose
+          predicate *subsumes* this one filters down to exactly this
+          selection (fewer rows touched than a full re-scan);
+        * **range probe** -- when the predicate splits into a closed range
+          on one column plus a residual, the shared arrangement keyed by
+          that column serves the positions from its sorted variant
+          (:meth:`~repro.storage.arrangements.Arrangement.range_positions`),
+          re-sorted to table order.
+
+        Returns ``None`` when neither applies (the caller compiles the
+        ordinary predicate kernel).  The derived list is memoized under
+        this exact predicate, seeding later exact hits and further folds."""
+        from repro.query.subsume import predicate_subsumes, split_range
+
+        predicate = dimspec.predicate
+        metrics = self.sim.metrics
+        provider: list | None = None
+        for (tname, prov_pred), rows in self._dim_sel_cache.items():
+            if tname != dimspec.dim_table:
+                continue
+            if predicate_subsumes(prov_pred, predicate)[0]:
+                if provider is None or len(rows) < len(provider):
+                    provider = rows
+        if provider is not None:
+            pred = predicate.compile(dim.schema)
+            selected = [r for r in provider if pred(r)]
+            self._dim_sel_cache[(dimspec.dim_table, predicate)] = selected
+            metrics.bump("cjoin_fold_dim_sibling")
+            return selected
+        if not self.engine.config.use_arrangements():
+            return None
+        sr = split_range(predicate)
+        if sr is None:
+            return None
+        col, lo, hi, residual = sr
+        arr = ARRANGEMENTS.acquire(dim, col)
+        try:
+            # Positions come back in key order; table order (= scan order)
+            # is restored by sorting, keeping the derived list identical
+            # to what the page-by-page predicate scan would select.
+            positions = sorted(arr.range_positions(lo, hi, residual))
+            rows_src = arr.rows
+            selected = [rows_src[p] for p in positions]
+        finally:
+            ARRANGEMENTS.release(arr)
+        self._dim_sel_cache[(dimspec.dim_table, predicate)] = selected
+        metrics.bump("cjoin_fold_dim_range")
         return selected
 
     def _apply_admission(self, packet: "Packet", plans: list[tuple[Any, list[tuple]]]) -> Iterator[Any]:

@@ -63,6 +63,7 @@ from repro.engine.config import (
     gqp_filter_kernels_default,
     gqp_plane,
     packed_storage_default,
+    query_folding_default,
 )
 from repro.sim.machine import PAPER_MACHINE, MachineSpec
 from repro.storage.manager import StorageConfig
@@ -78,18 +79,22 @@ __all__ = [
 ]
 
 
-def current_fast_flags() -> tuple[bool, bool, bool, bool, bool]:
+def current_fast_flags() -> tuple[bool, bool, bool, bool, bool, bool]:
     """The parent's (batch_kernels, fuse_charges, columnar_pages,
-    packed_storage, arrangements) defaults, captured into each spec so
-    workers replay the parent's host-execution mode -- including a
-    ``REPRO_COLUMNAR=0`` row-mode, ``REPRO_PACKED=0`` boxed-layout, or
-    ``REPRO_ARRANGE=0`` private-builds parent."""
+    packed_storage, arrangements, query_folding) defaults, captured into
+    each spec so workers replay the parent's execution mode -- including a
+    ``REPRO_COLUMNAR=0`` row-mode, ``REPRO_PACKED=0`` boxed-layout,
+    ``REPRO_ARRANGE=0`` private-builds, or ``REPRO_FOLD=0`` exact-match
+    parent.  Unlike the first five, ``query_folding`` changes simulated
+    timing, so shipping it with the cell is also what keeps a folding
+    sweep byte-identical across any worker count."""
     return (
         batch_kernels_default(),
         fuse_charges_default(),
         columnar_pages_default(),
         packed_storage_default(),
         arrangements_default(),
+        query_folding_default(),
     )
 
 

@@ -577,7 +577,11 @@ class And(Expr):
 
     @property
     def signature(self) -> tuple:
-        return ("and",) + tuple(p.signature for p in self.parts)
+        # Canonical conjunct order: conjunction is commutative, so the
+        # signature sorts part signatures (by repr -- part tuples mix value
+        # types) to make ``a>1 AND b<2`` and ``b<2 AND a>1`` hash identically.
+        # Evaluation order still follows author order (``compile*`` above).
+        return ("and",) + tuple(sorted((p.signature for p in self.parts), key=repr))
 
     @property
     def terms(self) -> int:

@@ -1,0 +1,764 @@
+"""Subsumption lattice over plan signatures: fold similar queries into one.
+
+Every sharing mechanism in this repo -- the Window-of-Opportunity registry
+(paper Section 2.3), the shared result cache (:mod:`repro.cache`) and the
+shared join arrangements (:mod:`repro.storage.arrangements`) -- matched
+plans by *exact* signature equality.  Two concurrent Q3.2 instances that
+differ only in a year bound therefore ran fully query-centric even though
+one's output strictly contains the other's.  Following GraftDB (*Dynamic
+Folding of Concurrent Analytical Queries*) and the coordinated-reuse
+argument of Sioulas et al. (*Real-Time Analytics by Coordinating Reuse and
+Work Sharing*), this module defines ONE structural subsumption relation
+that all three layers consult:
+
+* :func:`predicate_subsumes` -- conjunctive-predicate containment.
+  ``weak`` subsumes ``strong`` when every row passing ``strong`` passes
+  ``weak`` (per-column interval/set containment for cmp/between/in-set
+  conjuncts; opaque shapes must match by signature).  On success it also
+  returns the *residual* conjuncts ``R`` with ``strong == weak AND R`` --
+  exactly the post-filter a folded consumer must apply to the provider's
+  rows.  The check is conservative: it may miss a true containment (a
+  missed fold is only a missed optimization) but never reports a false
+  one, so folded results are always exact.
+* :func:`fold_plan` -- lifts predicate subsumption to whole plan nodes:
+  selects over an identical sub-plan, CJOIN stars (per-dimension predicate
+  containment + payload projection), hash joins (per-side containment),
+  aggregations (group-by set containment with re-aggregable measures) and
+  sorts.  Returns a :class:`FoldPlan`: the residual filter, an optional
+  output projection and an optional :class:`Regroup` (roll-up
+  re-aggregation), or ``None`` when the provider cannot serve the
+  consumer.
+* :class:`FoldPlanner` -- ranks candidate providers (in-flight hosts,
+  cached entries) and keeps the cheapest fold; :class:`ResidualOperator`
+  is the compiled runtime form the engine workers stream batches through.
+* :func:`normalize` -- canonical conjunct form (sorted parts,
+  constant-folded closed bounds), so author ordering never hides an
+  equality; :func:`split_range` decomposes a predicate into a closed
+  range on one column plus a residual, for the arrangement cache's
+  sorted-variant probes.
+
+Everything here is pure bookkeeping over immutable plan/expression
+structures -- no simulated time.  The *engine* charges fold-search and
+residual-filter work through :class:`~repro.sim.costmodel.CostModel`
+(``fold_probe`` / ``fold_attach`` plus the ordinary read/predicate/
+aggregate builders) at the consumer sites.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.query.expr import And, Between, Cmp, Col, Const, Expr, InSet, Not, Or
+from repro.query.plan import (
+    AggregateNode,
+    CJoinNode,
+    HashJoinNode,
+    PlanNode,
+    SelectNode,
+    SortNode,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.schema import Schema
+
+__all__ = [
+    "FoldPlan",
+    "FoldPlanner",
+    "Regroup",
+    "ResidualOperator",
+    "and_of",
+    "conjuncts",
+    "fold_plan",
+    "normalize",
+    "predicate_subsumes",
+    "split_range",
+]
+
+
+# ---------------------------------------------------------------------------
+# Conjunct algebra
+# ---------------------------------------------------------------------------
+def conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a predicate into its top-level conjuncts (nested ``And``
+    included).  ``None`` (no predicate) flattens to no conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, And):
+        out: list[Expr] = []
+        for p in expr.parts:
+            out.extend(conjuncts(p))
+        return out
+    return [expr]
+
+
+def and_of(parts: Iterable[Expr]) -> Expr | None:
+    """Rebuild a conjunction: ``None`` for zero parts, the part itself for
+    one, ``And`` otherwise."""
+    parts = list(parts)
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return And(*parts)
+
+
+class _Constraint:
+    """The region one column is constrained to by a set of conjuncts:
+    an interval (open/closed bounds, ``None`` = unbounded) intersected
+    with an optional finite value set."""
+
+    __slots__ = ("lo", "lo_open", "hi", "hi_open", "values")
+
+    def __init__(self):
+        self.lo: Any = None
+        self.lo_open = False
+        self.hi: Any = None
+        self.hi_open = False
+        self.values: frozenset | None = None
+
+    # -- construction ----------------------------------------------------
+    def add_lo(self, v: Any, open_: bool) -> None:
+        if self.lo is None or v > self.lo or (v == self.lo and open_):
+            self.lo, self.lo_open = v, open_
+
+    def add_hi(self, v: Any, open_: bool) -> None:
+        if self.hi is None or v < self.hi or (v == self.hi and open_):
+            self.hi, self.hi_open = v, open_
+
+    def add_values(self, vals: Iterable[Any]) -> None:
+        vs = frozenset(vals)
+        self.values = vs if self.values is None else (self.values & vs)
+
+    # -- membership / containment ----------------------------------------
+    def admits(self, x: Any) -> bool:
+        """Is value ``x`` inside this region?"""
+        if self.values is not None and x not in self.values:
+            return False
+        if self.lo is not None and (x < self.lo or (x == self.lo and self.lo_open)):
+            return False
+        if self.hi is not None and (x > self.hi or (x == self.hi and self.hi_open)):
+            return False
+        return True
+
+    def _interval_contains(self, other: "_Constraint") -> bool:
+        if self.lo is not None:
+            if other.lo is None:
+                return False
+            if other.lo < self.lo:
+                return False
+            if other.lo == self.lo and self.lo_open and not other.lo_open:
+                return False
+        if self.hi is not None:
+            if other.hi is None:
+                return False
+            if other.hi > self.hi:
+                return False
+            if other.hi == self.hi and self.hi_open and not other.hi_open:
+                return False
+        return True
+
+    def contains(self, other: "_Constraint") -> bool:
+        """Is ``other``'s region a subset of this one?  Conservative:
+        ``False`` on any shape (or type) mismatch it cannot decide."""
+        try:
+            if other.values is not None:
+                # Finite region: check each surviving point directly.
+                return all(
+                    self.admits(x) for x in other.values if other.admits(x)
+                )
+            if self.values is not None:
+                # A finite set cannot contain a (non-degenerate) interval;
+                # the one decidable case is a single-point interval.
+                if (
+                    other.lo is not None
+                    and other.lo == other.hi
+                    and not other.lo_open
+                    and not other.hi_open
+                ):
+                    return self.admits(other.lo)
+                return False
+            return self._interval_contains(other)
+        except TypeError:
+            return False  # incomparable value types: undecidable, so no
+
+
+def _classify(conj: Expr) -> tuple[str, _Constraint] | None:
+    """``(column, constraint)`` for the supported single-column shapes,
+    ``None`` for opaque conjuncts (compared by signature only)."""
+    c = _Constraint()
+    if isinstance(conj, Between):
+        c.add_lo(conj.lo, False)
+        c.add_hi(conj.hi, False)
+        return conj.col, c
+    if isinstance(conj, InSet):
+        c.add_values(conj.values)
+        return conj.col, c
+    if isinstance(conj, Cmp) and isinstance(conj.left, Col) and isinstance(conj.right, Const):
+        v = conj.right.value
+        if conj.op == "<":
+            c.add_hi(v, True)
+        elif conj.op == "<=":
+            c.add_hi(v, False)
+        elif conj.op == ">":
+            c.add_lo(v, True)
+        elif conj.op == ">=":
+            c.add_lo(v, False)
+        elif conj.op == "=":
+            c.add_values((v,))
+        else:  # '!=' has no convex region; treat as opaque
+            return None
+        return conj.left.name, c
+    return None
+
+
+def _constraint_map(
+    parts: list[Expr],
+) -> tuple[dict[str, _Constraint], list[Expr]]:
+    """Split conjuncts into per-column merged constraints plus the opaque
+    leftovers."""
+    cols: dict[str, _Constraint] = {}
+    opaque: list[Expr] = []
+    for p in parts:
+        info = _classify(p)
+        if info is None:
+            opaque.append(p)
+            continue
+        col, c = info
+        merged = cols.get(col)
+        if merged is None:
+            cols[col] = c
+        else:
+            if c.lo is not None:
+                merged.add_lo(c.lo, c.lo_open)
+            if c.hi is not None:
+                merged.add_hi(c.hi, c.hi_open)
+            if c.values is not None:
+                merged.add_values(c.values)
+    return cols, opaque
+
+
+def predicate_subsumes(
+    weak: Expr | None, strong: Expr | None
+) -> tuple[bool, list[Expr]]:
+    """Does ``weak`` subsume ``strong`` -- rows(strong) a subset of
+    rows(weak)?  Returns ``(ok, residual)`` where ``residual`` is the list
+    of ``strong``'s conjuncts not already implied by ``weak``; on success
+    ``weak AND residual`` selects *exactly* the rows of ``strong`` (the
+    dropped conjuncts are each implied by ``weak``), so a consumer can run
+    the residual as a post-filter over the provider's output."""
+    if weak is None:
+        return True, conjuncts(strong)
+    if strong is None:
+        return False, []
+    wconj = conjuncts(weak)
+    sconj = conjuncts(strong)
+    ssigs = {c.signature for c in sconj}
+    wcols, wopaque = _constraint_map(wconj)
+    scols, _ = _constraint_map(sconj)
+    # Every opaque conjunct of the weak side must literally reappear.
+    for o in wopaque:
+        if o.signature not in ssigs:
+            return False, []
+    # Every column the weak side constrains must be constrained at least
+    # as tightly by the strong side.
+    for col, wc in wcols.items():
+        sc = scols.get(col)
+        if sc is None or not wc.contains(sc):
+            return False, []
+    # Residual: strong conjuncts not implied by the weak predicate.
+    wsigs = {c.signature for c in wconj}
+    residual: list[Expr] = []
+    for cj in sconj:
+        if cj.signature in wsigs:
+            continue
+        info = _classify(cj)
+        if info is not None:
+            col, cc = info
+            wc = wcols.get(col)
+            if wc is not None and cc.contains(wc):
+                continue  # weak's own constraint already implies this
+        residual.append(cj)
+    return True, residual
+
+
+def split_range(
+    predicate: Expr | None, column: str | None = None
+) -> tuple[str, Any, Any, Expr | None] | None:
+    """Decompose a conjunctive predicate into ``(col, lo, hi, residual)``
+    where ``predicate == (lo <= col <= hi) AND residual`` exactly -- the
+    shape the arrangement cache's sorted variants probe.  ``column``
+    restricts which column the range may be on; ``None`` picks the first
+    closed-range conjunct.  Returns ``None`` when no conjunct is a closed
+    range (or single-point equality) on an eligible column."""
+    parts = conjuncts(predicate)
+    for i, p in enumerate(parts):
+        col = lo = hi = None
+        if isinstance(p, Between):
+            col, lo, hi = p.col, p.lo, p.hi
+        elif (
+            isinstance(p, Cmp)
+            and p.op == "="
+            and isinstance(p.left, Col)
+            and isinstance(p.right, Const)
+        ):
+            col, lo, hi = p.left.name, p.right.value, p.right.value
+        if col is None or (column is not None and col != column):
+            continue
+        rest = parts[:i] + parts[i + 1 :]
+        return col, lo, hi, and_of(rest)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Normalization (canonical conjunct form)
+# ---------------------------------------------------------------------------
+def _rebuild_closed(col: str, lo: Any, hi: Any) -> Expr:
+    if lo is not None and hi is not None:
+        if lo == hi:
+            return Cmp("=", col, lo)
+        return Between(col, lo, hi)
+    if lo is not None:
+        return Cmp(">=", col, lo)
+    return Cmp("<=", col, hi)
+
+
+def _is_closed_bound(p: Expr) -> tuple[str, Any, Any] | None:
+    """``(col, lo, hi)`` for closed-bound shapes (>=, <=, =, between);
+    ``None`` for anything else (strict bounds and sets pass through)."""
+    if isinstance(p, Between):
+        return p.col, p.lo, p.hi
+    if isinstance(p, Cmp) and isinstance(p.left, Col) and isinstance(p.right, Const):
+        v = p.right.value
+        if p.op == ">=":
+            return p.left.name, v, None
+        if p.op == "<=":
+            return p.left.name, None, v
+        if p.op == "=":
+            return p.left.name, v, v
+    return None
+
+
+def normalize(expr: Expr | None) -> Expr | None:
+    """Canonical form of a predicate: conjunctions flatten, closed bounds
+    on one column constant-fold into a single range, duplicate conjuncts
+    drop, and parts sort by signature.  Together with ``And``'s sorted
+    signature this makes structurally equal predicates hash identically
+    regardless of author order (``a>1 AND b<2`` == ``b<2 AND a>1``).
+    Normalization never changes the selected rows."""
+    if expr is None:
+        return None
+    if isinstance(expr, Not):
+        return Not(normalize(expr.part))
+    if isinstance(expr, Or):
+        parts = [normalize(p) for p in expr.parts]
+        seen: dict[tuple, Expr] = {}
+        for p in parts:
+            seen.setdefault(p.signature, p)
+        ordered = [seen[s] for s in sorted(seen, key=repr)]
+        return ordered[0] if len(ordered) == 1 else Or(*ordered)
+    if not isinstance(expr, And):
+        return expr
+    flat: list[Expr] = []
+    for p in expr.parts:
+        np = normalize(p)
+        flat.extend(np.parts if isinstance(np, And) else [np])
+    # Constant-fold closed bounds per column (lo = max of lowers, hi = min
+    # of uppers); strict bounds, sets and opaque conjuncts pass through.
+    bounds: dict[str, tuple[Any, Any]] = {}
+    order: list[Any] = []  # column name (folded) or Expr (pass-through)
+    for p in flat:
+        cb = _is_closed_bound(p)
+        if cb is None:
+            order.append(p)
+            continue
+        col, lo, hi = cb
+        if col not in bounds:
+            bounds[col] = (lo, hi)
+            order.append(col)
+        else:
+            plo, phi = bounds[col]
+            try:
+                if lo is not None:
+                    plo = lo if plo is None else max(plo, lo)
+                if hi is not None:
+                    phi = hi if phi is None else min(phi, hi)
+            except TypeError:  # incomparable bound types: keep both as-is
+                order.append(p)
+                continue
+            bounds[col] = (plo, phi)
+    rebuilt: list[Expr] = []
+    for item in order:
+        if isinstance(item, Expr):
+            rebuilt.append(item)
+        else:
+            lo, hi = bounds[item]
+            rebuilt.append(_rebuild_closed(item, lo, hi))
+    seen = {}
+    for p in rebuilt:
+        seen.setdefault(p.signature, p)
+    ordered = [seen[s] for s in sorted(seen, key=repr)]
+    return ordered[0] if len(ordered) == 1 else And(*ordered)
+
+
+# ---------------------------------------------------------------------------
+# Plan-level folding
+# ---------------------------------------------------------------------------
+#: Aggregate functions whose per-group results can be re-aggregated into
+#: coarser groups (count rolls up by summing counts, etc.).  ``avg`` is
+#: NOT re-aggregable from finalized values (it would need sum+count).
+_ROLLUP = {"sum": "sum", "count": "sum", "min": "min", "max": "max"}
+
+
+@dataclass(frozen=True)
+class Regroup:
+    """Roll-up re-aggregation of a provider aggregate's finalized groups
+    into the consumer's coarser grouping."""
+
+    #: positions of the consumer's group-by columns in the provider's output
+    key_idx: tuple[int, ...]
+    #: one ``(merge_func, provider_column)`` per consumer aggregate
+    measures: tuple[tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class FoldPlan:
+    """How a subsuming provider's output becomes the consumer's result:
+    residual filter, then projection or roll-up re-aggregation."""
+
+    #: post-filter over the provider's output rows (None = pass everything)
+    residual: Expr | None = None
+    #: output projection (positions into the provider's output row);
+    #: ``None`` = identity.  Mutually exclusive with ``regroup``.
+    project: tuple[int, ...] | None = None
+    #: roll-up re-aggregation; ``None`` for plain filter/project folds
+    regroup: Regroup | None = None
+
+    @property
+    def residual_terms(self) -> int:
+        return self.residual.terms if self.residual is not None else 0
+
+    def cost_rank(self) -> tuple[int, int]:
+        """Cheapest-provider ordering: fewer residual terms first, pure
+        filters before roll-ups (a regroup re-touches every group)."""
+        return (self.residual_terms, 1 if self.regroup is not None else 0)
+
+
+def _schema_names(node: PlanNode) -> list[str]:
+    return [c.name for c in node.schema.columns]
+
+
+def _residual_over(
+    residual: list[Expr], available: set[str]
+) -> list[Expr] | None:
+    """The residual conjuncts, provided every referenced column survives
+    into the provider's output (else the fold is impossible)."""
+    for r in residual:
+        if not r.columns() <= available:
+            return None
+    return residual
+
+
+def _unwrap_selects(node: PlanNode) -> tuple[PlanNode, Expr | None]:
+    """Strip a chain of SelectNodes, folding predicates into one conjunction
+    (same semantics as the engine-side unwrap in ``stages/inputs.py``)."""
+    predicate: Expr | None = None
+    while isinstance(node, SelectNode):
+        predicate = node.predicate if predicate is None else And(node.predicate, predicate)
+        node = node.child
+    return node, predicate
+
+
+def _child_residual(
+    consumer_child: PlanNode, provider_child: PlanNode
+) -> tuple[bool, list[Expr]]:
+    """Subsumption between two operator *inputs* (select chains included):
+    ``(ok, residual conjuncts over the provider child's output schema)``."""
+    ci, cpred = _unwrap_selects(consumer_child)
+    pi, ppred = _unwrap_selects(provider_child)
+    if ci.signature == pi.signature:
+        return predicate_subsumes(ppred, cpred)
+    if isinstance(ci, CJoinNode) and isinstance(pi, CJoinNode):
+        # Aggregations over CJOIN outputs: the star itself may subsume.
+        plan = _fold_cjoin(ci, pi)
+        if plan is None or plan.project is not None:
+            # A projection below an aggregation would shift the column
+            # positions its exprs resolve against; require equal payloads.
+            return False, []
+        ok, outer = predicate_subsumes(ppred, cpred)
+        if not ok:
+            return False, []
+        return True, conjuncts(plan.residual) + outer
+    if isinstance(ci, HashJoinNode) and isinstance(pi, HashJoinNode):
+        # Query-centric join trees: recurse -- a narrower dimension
+        # predicate anywhere in the tree surfaces as a residual over the
+        # join's output (``_fold_join`` never projects, so column
+        # positions are stable for the consuming operator's exprs).
+        plan = _fold_join(ci, pi)
+        if plan is None:
+            return False, []
+        ok, outer = predicate_subsumes(ppred, cpred)
+        if not ok:
+            return False, []
+        return True, conjuncts(plan.residual) + outer
+    return False, []
+
+
+def _fold_aggregate(
+    consumer: AggregateNode, provider: AggregateNode
+) -> FoldPlan | None:
+    if not set(consumer.group_by) <= set(provider.group_by):
+        return None
+    ok, residual = _child_residual(consumer.child, provider.child)
+    if not ok:
+        return None
+    # The residual runs over the provider's *output groups*, so it may
+    # only reference columns the provider grouped by (within one group
+    # all rows agree on those columns, making the group-level filter
+    # exactly equivalent to the row-level one).
+    residual = _residual_over(residual, set(provider.group_by))
+    if residual is None:
+        return None
+    out_names = _schema_names(provider)
+    n_groups = len(provider.group_by)
+    # Map each consumer aggregate onto a provider aggregate with the same
+    # function and expression.
+    matches: list[int] = []
+    for a in consumer.aggregates:
+        want = (a.func, a.expr.signature if a.expr else None)
+        for j, p in enumerate(provider.aggregates):
+            if (p.func, p.expr.signature if p.expr else None) == want:
+                matches.append(n_groups + j)
+                break
+        else:
+            return None
+    if set(consumer.group_by) == set(provider.group_by):
+        # Same grouping: groups pass through (filter + projection only).
+        project: tuple[int, ...] | None = tuple(
+            [out_names.index(g) for g in consumer.group_by] + matches
+        )
+        if project == tuple(range(len(project))) and len(project) == len(out_names):
+            project = None
+        return FoldPlan(residual=and_of(residual), project=project)
+    # Proper subset: roll finalized measures up into coarser groups.
+    measures = []
+    for a, src in zip(consumer.aggregates, matches):
+        merge = _ROLLUP.get(a.func)
+        if merge is None:
+            return None
+        measures.append((merge, src))
+    regroup = Regroup(
+        key_idx=tuple(out_names.index(g) for g in consumer.group_by),
+        measures=tuple(measures),
+    )
+    return FoldPlan(residual=and_of(residual), regroup=regroup)
+
+
+def _fold_cjoin(consumer: CJoinNode, provider: CJoinNode) -> FoldPlan | None:
+    if consumer.fact_table != provider.fact_table:
+        return None
+    if len(consumer.dims) != len(provider.dims):
+        return None
+    out_names = _schema_names(provider)
+    if len(set(out_names)) != len(out_names):
+        return None  # ambiguous column names: cannot resolve a residual
+    available = set(out_names)
+    residual: list[Expr] = []
+    for cd, pd in zip(consumer.dims, provider.dims):
+        if (cd.dim_table, cd.fact_fk, cd.dim_key) != (pd.dim_table, pd.fact_fk, pd.dim_key):
+            return None
+        if not set(cd.payload) <= set(pd.payload):
+            return None
+        ok, res = predicate_subsumes(pd.predicate, cd.predicate)
+        if not ok:
+            return None
+        residual.extend(res)
+    if not set(consumer.fact_payload) <= set(provider.fact_payload):
+        return None
+    ok, res = predicate_subsumes(provider.fact_predicate, consumer.fact_predicate)
+    if not ok:
+        return None
+    residual.extend(res)
+    checked = _residual_over(residual, available)
+    if checked is None:
+        return None
+    consumer_names = _schema_names(consumer)
+    if consumer_names == out_names:
+        project = None
+    else:
+        project = tuple(out_names.index(n) for n in consumer_names)
+    return FoldPlan(residual=and_of(checked), project=project)
+
+
+def _fold_join(consumer: HashJoinNode, provider: HashJoinNode) -> FoldPlan | None:
+    if (consumer.probe_key, consumer.build_key) != (provider.probe_key, provider.build_key):
+        return None
+    ok_p, res_p = _child_residual(consumer.probe, provider.probe)
+    if not ok_p:
+        return None
+    ok_b, res_b = _child_residual(consumer.build, provider.build)
+    if not ok_b:
+        return None
+    out_names = _schema_names(provider)
+    if len(set(out_names)) != len(out_names):
+        return None
+    checked = _residual_over(res_p + res_b, set(out_names))
+    if checked is None:
+        return None
+    return FoldPlan(residual=and_of(checked))
+
+
+def _fold_sort(consumer: SortNode, provider: SortNode) -> FoldPlan | None:
+    if consumer.keys != provider.keys:
+        return None
+    ok, res = _child_residual(consumer.child, provider.child)
+    if not ok:
+        return None
+    out_names = _schema_names(provider)
+    checked = _residual_over(res, set(out_names))
+    if checked is None:
+        return None
+    # A filter of a sorted stream is sorted: no re-sort needed.
+    return FoldPlan(residual=and_of(checked))
+
+
+def fold_plan(consumer: PlanNode, provider: PlanNode) -> FoldPlan | None:
+    """A :class:`FoldPlan` turning ``provider``'s output into exactly
+    ``consumer``'s, or ``None`` when ``provider`` does not subsume it.
+    Both arguments are stage-root nodes (never ``SelectNode`` roots)."""
+    if consumer.signature == provider.signature:
+        return FoldPlan()
+    if isinstance(consumer, AggregateNode) and isinstance(provider, AggregateNode):
+        return _fold_aggregate(consumer, provider)
+    if isinstance(consumer, CJoinNode) and isinstance(provider, CJoinNode):
+        return _fold_cjoin(consumer, provider)
+    if isinstance(consumer, HashJoinNode) and isinstance(provider, HashJoinNode):
+        return _fold_join(consumer, provider)
+    if isinstance(consumer, SortNode) and isinstance(provider, SortNode):
+        return _fold_sort(consumer, provider)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Planner + runtime operator
+# ---------------------------------------------------------------------------
+class FoldPlanner:
+    """Ranks candidate providers for one consumer node and keeps the
+    cheapest fold.  ``examined`` counts subsumption tests so the engine
+    can charge ``CostModel.fold_probe`` per candidate considered."""
+
+    __slots__ = ("node", "examined", "_best")
+
+    def __init__(self, node: PlanNode):
+        self.node = node
+        self.examined = 0
+        self._best: tuple[tuple, Any, FoldPlan] | None = None
+
+    def consider(self, provider_node: PlanNode, token: Any, tie_break: tuple = ()) -> None:
+        """Test one provider; ``token`` is handed back by :meth:`best`.
+        ``tie_break`` orders equal-cost folds deterministically (e.g.
+        registration order, cache bytes)."""
+        self.examined += 1
+        plan = fold_plan(self.node, provider_node)
+        if plan is None:
+            return
+        score = plan.cost_rank() + tie_break + (self.examined,)
+        if self._best is None or score < self._best[0]:
+            self._best = (score, token, plan)
+
+    def best(self) -> tuple[Any, FoldPlan] | None:
+        if self._best is None:
+            return None
+        return self._best[1], self._best[2]
+
+
+_MERGE: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": operator.add,
+    "min": min,
+    "max": max,
+}
+
+
+class ResidualOperator:
+    """Compiled runtime form of a :class:`FoldPlan`: stream the provider's
+    output batches through the residual filter, then project rows or roll
+    groups up.  Row order (and, for roll-ups, accumulation order) matches
+    what direct evaluation would produce, so folded results are exact."""
+
+    __slots__ = ("plan", "_filter", "_project", "_groups", "_measures", "_key_idx")
+
+    def __init__(self, plan: FoldPlan, provider_schema: "Schema", batch_kernels: bool = True):
+        self.plan = plan
+        self._filter: Callable[[list], list] | None = None
+        if plan.residual is not None:
+            if batch_kernels:
+                self._filter = plan.residual.compile_batch(provider_schema)
+            else:
+                pred = plan.residual.compile(provider_schema)
+                self._filter = lambda rows, _p=pred: [r for r in rows if _p(r)]
+        self._project: Callable[[tuple], tuple] | None = None
+        if plan.project is not None:
+            idx = plan.project
+            if len(idx) > 1:
+                self._project = operator.itemgetter(*idx)
+            else:
+                i = idx[0]
+                self._project = lambda r, _i=i: (r[_i],)
+        self._groups: dict[tuple, list] | None = None
+        self._measures: tuple[tuple[str, int], ...] = ()
+        self._key_idx: tuple[int, ...] = ()
+        if plan.regroup is not None:
+            self._groups = {}
+            self._measures = plan.regroup.measures
+            self._key_idx = plan.regroup.key_idx
+
+    @property
+    def regrouping(self) -> bool:
+        return self._groups is not None
+
+    @property
+    def n_measures(self) -> int:
+        return max(len(self._measures), 1)
+
+    def apply(self, rows: list) -> list:
+        """Filter + project one batch (non-regroup folds)."""
+        if self._filter is not None:
+            rows = self._filter(rows)
+        if self._project is not None and rows:
+            proj = self._project
+            rows = [proj(r) for r in rows]
+        return rows
+
+    def absorb(self, rows: list) -> int:
+        """Filter one batch of finalized provider groups and merge them
+        into the coarser grouping; returns how many groups were merged
+        (for cost charging)."""
+        if self._filter is not None:
+            rows = self._filter(rows)
+        groups = self._groups
+        key_idx = self._key_idx
+        measures = self._measures
+        key_of = (
+            operator.itemgetter(*key_idx)
+            if len(key_idx) > 1
+            else (lambda r, _i=key_idx[0]: (r[_i],))
+            if key_idx
+            else (lambda r: ())
+        )
+        for r in rows:
+            key = key_of(r)
+            if not isinstance(key, tuple):
+                key = (key,)
+            acc = groups.get(key)
+            if acc is None:
+                groups[key] = [r[src] for _, src in measures]
+            else:
+                for i, (merge, src) in enumerate(measures):
+                    acc[i] = _MERGE[merge](acc[i], r[src])
+        return len(rows)
+
+    def finalize(self) -> list:
+        """The rolled-up output rows, in provider first-occurrence order
+        (the same order direct aggregation would emit)."""
+        return [key + tuple(acc) for key, acc in self._groups.items()]

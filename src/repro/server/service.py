@@ -26,7 +26,7 @@ from repro.cache import cached_query_centric_plan
 from repro.data.rng import make_rng
 from repro.engine.config import CJOIN_SP, QPIPE_SP
 from repro.engine.qpipe import QPipeEngine, QueryHandle
-from repro.query.ssb_queries import random_q11, random_q21, random_q32
+from repro.query.ssb_queries import q32, random_q11, random_q21, random_q32
 from repro.server.admission import AdmissionQueue, QueuedQuery
 from repro.server.arrivals import ArrivalProcess, make_arrivals
 from repro.server.config import ServiceConfig
@@ -46,10 +46,23 @@ from repro.storage.manager import StorageConfig, StorageManager
 #: [0, 1]: that fraction of queries repeats one of a small fixed pool of
 #: Q3.2 templates (dashboards, canned reports), the rest are fresh random
 #: instances -- the workload knob the result-cache benchmark sweeps.
-SERVE_WORKLOADS = ("ssb-mix", "q32-random", "recurring:<rate>")
+#: ``folding:<overlap>`` takes a predicate-overlap rate in [0, 1]: that
+#: fraction of queries are *narrowings* of a small pool of broad Q3.2
+#: base templates (same nations, a random year sub-range) -- subsumable
+#: but usually not identical, so exact-match sharing misses them and only
+#: the fold plane can attach them; the rest are fresh random instances.
+SERVE_WORKLOADS = (
+    "ssb-mix",
+    "q32-random",
+    "recurring:<rate>",
+    "folding:<overlap>",
+)
 
 #: Fixed template pool size of the ``recurring:<rate>`` workload.
 RECURRING_TEMPLATES = 4
+
+#: Fixed broad-template pool size of the ``folding:<overlap>`` workload.
+FOLDING_TEMPLATES = 4
 
 
 def recurring_job_factory(
@@ -73,8 +86,50 @@ def recurring_job_factory(
     return make
 
 
+def folding_job_factory(
+    seed: int, overlap: float, n_templates: int = FOLDING_TEMPLATES
+) -> Callable[[int], QueryJob]:
+    """``k -> QueryJob`` where an ``overlap`` fraction of queries narrows
+    one of ``n_templates`` broad Q3.2 base templates: same nation pair,
+    a random year sub-range.  One in four overlap draws re-issues the
+    broad template itself, so subsuming hosts and cache entries exist for
+    the narrowings to fold into; exact-signature sharing almost never
+    fires on this mix (the sub-ranges rarely coincide)."""
+    if not 0.0 <= overlap <= 1.0:
+        raise ValueError(f"overlap rate must be in [0, 1], got {overlap}")
+    from repro.data.ssb import SSB_NATIONS, YEARS
+
+    trng = make_rng(seed, "serve-fold-template")
+    templates = [
+        (trng.choice(SSB_NATIONS), trng.choice(SSB_NATIONS))
+        for _ in range(n_templates)
+    ]
+    y_lo, y_hi = YEARS[0], YEARS[-1]
+
+    def make(k: int) -> QueryJob:
+        rng = make_rng(seed, "serve", k)
+        if rng.random() < overlap:
+            nc, ns = templates[rng.randrange(len(templates))]
+            if rng.random() < 0.25:
+                return QueryJob(spec=q32(nc, ns, y_lo, y_hi))
+            lo = rng.randrange(y_lo, y_hi + 1)
+            hi = rng.randrange(lo, y_hi + 1)
+            return QueryJob(spec=q32(nc, ns, lo, hi))
+        return QueryJob(spec=random_q32(rng))
+
+    return make
+
+
 def job_factory(workload: str, seed: int) -> Callable[[int], QueryJob]:
     """A ``k -> QueryJob`` factory for an unbounded served stream."""
+    if workload.startswith("folding:"):
+        try:
+            overlap = float(workload.split(":", 1)[1])
+        except ValueError:
+            raise ValueError(
+                f"bad folding workload {workload!r}: expected 'folding:<overlap>'"
+            ) from None
+        return folding_job_factory(seed, overlap)
     if workload.startswith("recurring:"):
         try:
             recurrence = float(workload.split(":", 1)[1])
@@ -374,10 +429,15 @@ def serve(
         service.metrics.cache_stats = service.storage.result_cache.stats()
     # Shared-arrangement attribution: the cache is process-wide, so
     # publish this run's *deltas* (host-side counters only -- no
-    # simulated measurement depends on them).
+    # simulated measurement depends on them).  ``entries`` and the fold
+    # derivation counters are cache-*lifetime* state, not per-run work: a
+    # fold only happens while the shared memo is cold, so its delta would
+    # differ between two identical runs (ArrangementCache.stats() still
+    # reports the totals for benchmarks).
+    lifetime = ("entries", "fold_views", "fold_ranges")
     for k, v in ARRANGEMENTS.stats().items():
         delta = v - arrange_before.get(k, 0)
-        if k != "entries" and delta:
+        if k not in lifetime and delta:
             service.metrics.set_count(f"arrangement_{k}", delta)
     window = max(sim.now, duration or 0.0) or 1.0
     return ServiceReport(

@@ -94,6 +94,15 @@ class CostModel:
     #: copying one produced page into the cache store (fill consumer)
     cache_store_page: float = 10_000.0
 
+    # ---- subsumption folding (repro.query.subsume) ----------------------
+    #: testing one candidate provider for subsumption at admission: walk
+    #: two plan signatures, merge per-column constraint maps -- a bit more
+    #: than a plain signature hash probe
+    fold_probe: float = 6_000.0
+    #: one-time setup of a successful fold: compile the residual kernel,
+    #: open a reader on the host exchange / cached entry
+    fold_attach: float = 30_000.0
+
     # ---- shard scatter (repro.shard) ------------------------------------
     #: per-page bookkeeping of placing one fact page on a shard at
     #: start-up (placement computation + page metadata)
@@ -258,6 +267,20 @@ class CostModel:
         their probe cost, which is already in their simulated service
         times."""
         return self.arrange_row * rows
+
+    def fold_search(self, candidates: float) -> CpuCommand:
+        """Subsumption search over ``candidates`` providers plus the
+        one-time attach cost of the fold it found.  Charged only on
+        *successful* folds (a failed search rides the packet-dispatch
+        charge the query-centric path pays anyway)."""
+        memo = self._memo
+        key = ("fold", candidates)
+        cmd = memo.get(key)
+        if cmd is None:
+            cmd = memo[key] = CPU(
+                self.fold_probe * max(candidates, 1.0) + self.fold_attach, "misc"
+            )
+        return cmd
 
     def reorder(self, n_filters: float) -> CpuCommand:
         memo = self._memo

@@ -31,15 +31,31 @@ switchboard:
   its own dict.  Every simulated charge (build-input reads, hashing,
   insert bookkeeping, admission scans) is still paid per query -- only
   the host-side Python data structure is shared -- so simulated results
-  stay bit-identical either way.
+  stay bit-identical either way;
+* ``query_folding`` -- the sharing layers (WoP registry, result cache,
+  arrangements) match plans by *subsumption*
+  (:mod:`repro.query.subsume`), not just exact signature equality: a
+  packet can attach to a host whose output strictly contains its own
+  through a residual post-filter, a cache probe can answer from a
+  superset entry, and a range probe can ride a sibling arrangement's
+  sorted variant.  Unlike the other fast-path flags, folding changes
+  *simulated timing* (folded satellites skip sub-plan work and pay
+  fold-search/residual charges instead); query **results** stay
+  bit-identical, which the golden suite fingerprint-asserts.
 
 All default on; ``fast_path(False, False, False, False, False)``
 restores the row-at-a-time "before" behavior for benchmarking and for
 the golden determinism tests, which hold the modes to *bit-identical*
 simulated results.  ``REPRO_COLUMNAR=0`` / ``REPRO_PACKED=0`` /
-``REPRO_ARRANGE=0`` seed the columnar / packed / arrangement defaults
-off at import time (spawned benchmark/worker processes inherit the
-parent's choice).
+``REPRO_ARRANGE=0`` / ``REPRO_FOLD=0`` seed the columnar / packed /
+arrangement / folding defaults off at import time (spawned
+benchmark/worker processes inherit the parent's choice).
+
+Because folding moves simulated ticks, ``fast_path(...)`` resolves
+``fold=None`` to **False** -- every context pinned for golden/wallclock
+comparisons stays on the reference (fold-off) timing plane unless it
+opts in explicitly -- while the *process default* outside any context
+is on (``REPRO_FOLD`` seeded).
 
 A second switchboard carries the process-wide defaults of the **adaptive
 GQP data plane** (:mod:`repro.gqp.ordering`):
@@ -73,6 +89,7 @@ _FAST_PATH = {
     "columnar_pages": os.environ.get("REPRO_COLUMNAR", "1") not in ("0", "false"),
     "packed_storage": os.environ.get("REPRO_PACKED", "1") not in ("0", "false"),
     "arrangements": os.environ.get("REPRO_ARRANGE", "1") not in ("0", "false"),
+    "query_folding": os.environ.get("REPRO_FOLD", "1") not in ("0", "false"),
 }
 
 _GQP_PLANE = {
@@ -106,6 +123,11 @@ def arrangements_default() -> bool:
     return _FAST_PATH["arrangements"]
 
 
+def query_folding_default() -> bool:
+    """Process-wide default for subsumption-based query folding."""
+    return _FAST_PATH["query_folding"]
+
+
 def packed_storage_active() -> bool:
     """Whether tables should build packed column vectors *right now*:
     packed storage only pays off when the columnar plane consumes it, so
@@ -120,6 +142,7 @@ def fast_path(
     columnar_pages: bool | None = None,
     packed_storage: bool | None = None,
     arrangements: bool | None = None,
+    query_folding: bool | None = None,
 ):
     """Temporarily override the fast-path defaults (benchmarking/tests).
 
@@ -128,7 +151,13 @@ def fast_path(
     True)`` keep meaning "everything off" / "everything on" --
     ``packed_storage=None`` follows the resolved ``columnar_pages``, and
     ``arrangements=None`` follows ``batch_kernels`` for the same
-    everything-off/everything-on reason."""
+    everything-off/everything-on reason.
+
+    ``query_folding=None`` resolves to **False**, not to the process
+    default: folding changes simulated ticks, and every pinned context
+    (golden suites, wallclock A/B runs, shard workers replaying a parent's
+    flags) must stay on the reference timing plane unless it asks for
+    folding explicitly."""
     saved = dict(_FAST_PATH)
     _FAST_PATH["batch_kernels"] = batch_kernels
     _FAST_PATH["fuse_charges"] = fuse_charges
@@ -140,6 +169,7 @@ def fast_path(
     _FAST_PATH["arrangements"] = (
         batch_kernels if arrangements is None else arrangements
     )
+    _FAST_PATH["query_folding"] = bool(query_folding)
     try:
         yield
     finally:

@@ -98,6 +98,9 @@ class Arrangement:
         "_keys_memo",
         "_sorted_keys",
         "_sorted_positions",
+        "_range_memo",
+        "fold_views",
+        "fold_ranges",
     )
 
     def __init__(self, table: "Table", key_column: str):
@@ -126,6 +129,16 @@ class Arrangement:
         self._keys_memo: dict[Any, list[Any]] = {}
         self._sorted_keys: list[Any] | None = None
         self._sorted_positions: list[int] | None = None
+        #: predicate -> (sorted keys, sorted positions) over the rows
+        #: passing that predicate -- per-predicate sorted variants, each
+        #: derived from the weakest subsuming variant already built
+        #: (``None`` = the unfiltered base) instead of from scratch.
+        self._range_memo: dict[Any, tuple[list[Any], list[int]]] = {}
+        #: single-match views served from a subsuming sibling's view
+        #: through a residual filter (query folding)
+        self.fold_views = 0
+        #: per-predicate sorted variants derived from a subsuming sibling
+        self.fold_ranges = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -183,6 +196,49 @@ class Arrangement:
             view = self._single_memo[predicate] = {r[key_idx]: r for r in rows}
         return view
 
+    # -- subsumption folds (repro.query.subsume) -------------------------
+    def has_subsuming_view(self, predicate: "Expr | None" = None) -> bool:
+        """Whether :meth:`fold_single_view` could serve ``predicate`` right
+        now: its exact view is memoized, or some memoized sibling's
+        predicate subsumes it (lets a consumer skip collecting rows to
+        offer, exactly like :meth:`has_single_view`)."""
+        if not self.unique:
+            return False
+        if predicate in self._single_memo:
+            return True
+        if predicate is None:
+            return False
+        from repro.query.subsume import predicate_subsumes  # deferred: layering
+
+        return any(predicate_subsumes(p, predicate)[0] for p in self._single_memo)
+
+    def fold_single_view(self, predicate: "Expr | None") -> dict[Any, tuple] | None:
+        """The single-match view for ``predicate``, derived from the
+        smallest memoized sibling view whose predicate *subsumes* it
+        (query folding) -- filter the sibling's rows instead of re-scanning
+        the table.  Returns the exact memo when present, ``None`` when no
+        sibling subsumes (callers fall back to a private build).  The
+        derived view is memoized, so it seeds further folds."""
+        view = self._single_memo.get(predicate)
+        if view is not None:
+            return view
+        if not self.unique or predicate is None:
+            return None
+        from repro.query.subsume import predicate_subsumes  # deferred: layering
+
+        provider: dict[Any, tuple] | None = None
+        for prov_pred, prov_view in self._single_memo.items():
+            if predicate_subsumes(prov_pred, predicate)[0]:
+                if provider is None or len(prov_view) < len(provider):
+                    provider = prov_view
+        if provider is None:
+            return None
+        pred = predicate.compile(self.table.schema)
+        view = {k: r for k, r in provider.items() if pred(r)}
+        self._single_memo[predicate] = view
+        self.fold_views += 1
+        return view
+
     def keys_for(
         self, selected: list[tuple], predicate: "Expr | None" = None
     ) -> list[Any]:
@@ -203,15 +259,56 @@ class Arrangement:
             self._sorted_positions = order
             self._sorted_keys = [self.rows[p][self.key_idx] for p in order]
 
-    def range_positions(self, lo: Any, hi: Any) -> list[int]:
-        """Row positions whose key falls in ``[lo, hi]`` (both inclusive),
-        in ascending key order -- the sorted arrangement for range-keyed
-        joins, built lazily on first range probe (bisect over one sorted
-        key vector shared by every range consumer)."""
-        self._ensure_sorted()
-        a = bisect_left(self._sorted_keys, lo)
-        b = bisect_right(self._sorted_keys, hi)
-        return self._sorted_positions[a:b]
+    def range_positions(
+        self, lo: Any, hi: Any, predicate: "Expr | None" = None
+    ) -> list[int]:
+        """Row positions whose key falls in ``[lo, hi]`` (both inclusive)
+        *and* whose row passes ``predicate`` (all rows when None), in
+        ascending key order -- the sorted arrangement for range-keyed
+        consumers, built lazily on first range probe (bisect over one
+        sorted key vector shared by every range consumer).
+
+        Per-predicate sorted variants are derived from the weakest
+        subsuming variant already memoized (query folding): a probe under
+        ``σ_a`` filters the base's sorted vector once, and a later probe
+        under ``σ_a∧b`` filters ``σ_a``'s (smaller) vector instead of the
+        base -- the sorted variant of a differently filtered sibling keeps
+        serving narrower consumers."""
+        if predicate is None:
+            self._ensure_sorted()
+            keys, poss = self._sorted_keys, self._sorted_positions
+        else:
+            keys, poss = self._range_variant(predicate)
+        a = bisect_left(keys, lo)
+        b = bisect_right(keys, hi)
+        return poss[a:b]
+
+    def _range_variant(self, predicate: "Expr") -> tuple[list[Any], list[int]]:
+        """The (sorted keys, positions) pair over rows passing
+        ``predicate``, derived from the smallest memoized subsuming
+        variant (the unfiltered base when none subsumes) and memoized."""
+        got = self._range_memo.get(predicate)
+        if got is not None:
+            return got
+        from repro.query.subsume import predicate_subsumes  # deferred: layering
+
+        provider: tuple[list[Any], list[int]] | None = None
+        for prov_pred, pair in self._range_memo.items():
+            if predicate_subsumes(prov_pred, predicate)[0]:
+                if provider is None or len(pair[0]) < len(provider[0]):
+                    provider = pair
+        if provider is None:
+            self._ensure_sorted()
+            keys, poss = self._sorted_keys, self._sorted_positions
+        else:
+            keys, poss = provider
+            self.fold_ranges += 1
+        pred = predicate.compile(self.table.schema)
+        rows = self.rows
+        pairs = [(k, p) for k, p in zip(keys, poss) if pred(rows[p])]
+        variant = ([k for k, _ in pairs], [p for _, p in pairs])
+        self._range_memo[predicate] = variant
+        return variant
 
     def lookup_positions(self, key: Any) -> list[int]:
         """Row positions holding ``key`` (empty when absent)."""
@@ -303,6 +400,8 @@ class ArrangementCache:
             "evictions": self.evictions,
             "invalidations": self.invalidations,
             "entries": len(self._entries),
+            "fold_views": sum(a.fold_views for a in self._entries.values()),
+            "fold_ranges": sum(a.fold_ranges for a in self._entries.values()),
         }
 
 

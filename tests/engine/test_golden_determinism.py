@@ -229,6 +229,129 @@ def test_shard_fingerprints_identical_packed_vs_boxed(mode):
     assert outcomes[0] == outcomes[1]  # bitwise: == on floats
 
 
+# ---------------------------------------------------------------------------
+# Query folding (subsumption lattice, sixth fast-path flag)
+# ---------------------------------------------------------------------------
+# Folding deliberately CHANGES simulated timing -- a folded satellite reads
+# the host's stream instead of running its own sub-plan -- so the invariant
+# here is different from the other planes: query *results* must be
+# bit-identical fold-on vs fold-off, while fold-OFF metrics stay pinned by
+# the committed snapshot (every other test in this file runs inside a
+# ``fast_path`` context, which resolves ``query_folding=None`` to False).
+
+
+def _result_fingerprint(rows) -> str:
+    import hashlib
+
+    h = hashlib.sha256()
+    for r in rows:
+        h.update(repr(r).encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def _fold_mix_jobs():
+    """An overlap-heavy Q3.2 mix: two broad templates, each followed by
+    strictly narrower instances a fold can serve, plus random ad-hoc
+    queries (arrival order broad-first so hosts exist when the narrow
+    satellites are admitted)."""
+    from repro.query.ssb_queries import q32
+
+    rng = make_rng(31, "golden-fold")
+    jobs = [
+        q32("CHINA", "FRANCE", 1992, 1997),
+        q32("CHINA", "FRANCE", 1993, 1996),
+        q32("CHINA", "FRANCE", 1994, 1995),
+        q32("INDIA", "RUSSIA", 1992, 1997),
+        q32("INDIA", "RUSSIA", 1995, 1997),
+        random_q32(rng),
+        random_q32(rng),
+        q32("CHINA", "FRANCE", 1993, 1993),
+    ]
+    return jobs
+
+
+def _run_fold_mix(ssb, config_key: str, fold: bool):
+    """Run the overlap mix with a small submit stagger; returns per-query
+    result fingerprints plus the fold counters that fired."""
+    from repro.sim.commands import SLEEP
+    from repro.storage.manager import StorageConfig as SC
+
+    with fast_path(batch_kernels=True, fuse_charges=True, query_folding=fold):
+        sim = Simulator(MACHINE)
+        storage = StorageManager(
+            sim,
+            DEFAULT_COST_MODEL,
+            ssb.tables,
+            SC(resident="memory", result_cache_bytes=32.0),
+        )
+        config = CONFIGS[config_key]
+        if config == "postgres":
+            engine = VolcanoEngine(sim, storage, DEFAULT_COST_MODEL)
+        else:
+            engine = QPipeEngine(sim, storage, config)
+        jobs = _fold_mix_jobs()
+        handles = []
+
+        def submitter():
+            for i, spec in enumerate(jobs):
+                handles.append(engine.submit(spec))
+                if i + 1 < len(jobs):
+                    yield SLEEP(0.001)
+
+        sim.spawn(submitter(), "submitter")
+        sim.run()
+        folds = {
+            k: v for k, v in sim.metrics.counts.items() if k.startswith("fold_")
+        }
+        return [_result_fingerprint(h.results) for h in handles], folds
+
+
+@pytest.mark.parametrize("config_key", list(CONFIGS), ids=list(CONFIGS))
+def test_query_folding_results_bit_identical(ssb, config_key):
+    """Folded execution must be invisible in query *results*: every
+    query's rows fingerprint identically fold-on vs fold-off (the residual
+    filter / roll-up is exact and order-preserving, and integer-valued SSB
+    measures make re-summed aggregates exact)."""
+    off, _ = _run_fold_mix(ssb, config_key, fold=False)
+    on, _ = _run_fold_mix(ssb, config_key, fold=True)
+    assert on == off
+
+
+def test_query_folding_fires_on_overlap(ssb):
+    """The overlap mix must actually exercise the fold path (otherwise the
+    bit-identity test above proves nothing)."""
+    _, off_folds = _run_fold_mix(ssb, "QPipe-SP", fold=False)
+    _, on_folds = _run_fold_mix(ssb, "QPipe-SP", fold=True)
+    assert not off_folds, f"fold counters must stay zero fold-off: {off_folds}"
+    assert sum(on_folds.values()) > 0, "no fold fired on the overlap mix"
+
+
+@pytest.mark.parametrize("mode", ["hash", "range"])
+def test_shard_fingerprints_identical_fold_vs_naive(ssb, mode):
+    """The fold flag rides ShardConfig's fast_flags into workers; a shard
+    engine running under it must produce identical partial-aggregate state
+    and identical simulated service time as the unfolded plane, for either
+    placement mode."""
+    from repro.parallel.cells import DatasetSpec
+    from repro.query.ssb_queries import q32
+    from repro.shard.partition import shard_tables
+    from repro.shard.spec import ShardConfig
+    from repro.shard.worker import execute_shard_query
+
+    spec = q32("CHINA", "FRANCE", 1993, 1996)
+    outcomes = []
+    for fold in (False, True):
+        with fast_path(batch_kernels=True, fuse_charges=True, query_folding=fold):
+            config = ShardConfig(n_shards=2, dataset=DatasetSpec("ssb", 0.5, 21))
+            per_shard = []
+            for shard in range(2):
+                view = shard_tables(ssb.tables, "lineorder", shard, 2, mode, 21)
+                per_shard.append(execute_shard_query(view, spec, config))
+            outcomes.append(per_shard)
+    assert outcomes[0] == outcomes[1]  # bitwise: == on floats
+
+
 def _jsonify(measured: dict) -> dict:
     """Round-trip through JSON so committed and in-memory forms compare
     equal (JSON has no tuples / int-vs-float distinctions to preserve)."""

@@ -104,7 +104,7 @@ def test_fast_flags_captured_at_enumeration():
     the flags ride in the spec, not in process-global state."""
     with fast_path(batch_kernels=False, fuse_charges=False):
         spec = _specs(1)[0]
-        assert spec.fast_flags == (False, False, False, False, False)
+        assert spec.fast_flags == (False, False, False, False, False, False)
     # Outside the context the columnar flag falls back to its env default
     # (REPRO_COLUMNAR), so only pin the first two here.
     assert current_fast_flags()[:2] == (True, True)

@@ -70,11 +70,16 @@ class TestSignature:
     def test_inset_order_insensitive(self):
         assert InSet("s", ["x", "y"]) == InSet("s", ["y", "x", "x"])
 
-    def test_and_order_sensitive(self):
-        # Conjunct order is part of the plan (QPipe requires *identical*
-        # sub-plans to share).
+    def test_and_order_insensitive(self):
+        # Conjunction is commutative, so the signature canonicalizes the
+        # conjunct order: ``a AND b`` and ``b AND a`` are the same plan
+        # and must share (sub-plan registry, result cache, folding).
+        # Evaluation still runs in author order (short-circuit cost).
         a, b = Cmp("=", "a", 1), Cmp("=", "b", 2.0)
-        assert And(a, b) != And(b, a)
+        assert And(a, b) == And(b, a)
+        assert hash(And(a, b)) == hash(And(b, a))
+        # ... but different conjunct *sets* stay distinct.
+        assert And(a, b) != And(a, Cmp("=", "b", 3.0))
 
     def test_signatures_hashable_and_distinct(self):
         exprs = [

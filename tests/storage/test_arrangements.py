@@ -169,6 +169,7 @@ def test_acquire_hit_and_refcounts():
     assert a1 is a2 and a1.refcount == 2
     assert cache.stats() == {
         "hits": 1, "builds": 1, "evictions": 0, "invalidations": 0, "entries": 1,
+        "fold_views": 0, "fold_ranges": 0,
     }
     cache.release(a1)
     cache.release(a2)
